@@ -1,0 +1,40 @@
+// Ablation: intermediate-combiner elimination (Theorem 5, Figure 5) on
+// elimination-heavy scripts — optimized vs unoptimized time per
+// parallelism width. The paper attributes its superlinear optimized
+// speedups to exactly this optimization.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  HarnessOptions options = standard_options(argc, argv, 1 << 20);
+  options.parallelism = {1, 2, 4, 8, 16};
+  options.measure_original = false;
+
+  const std::pair<const char*, const char*> kPicks[] = {
+      {"oneliners", "wf.sh"},
+      {"oneliners", "shortest-scripts.sh"},
+      {"unix50", "23.sh"},
+      {"analytics-mts", "2.sh"},
+  };
+  std::cout << "Ablation: combiner elimination (optimized T_k vs "
+               "unoptimized u_k)\n\n";
+  TextTable table({"Script", "k", "u_k", "T_k", "elimination gain"});
+  for (const auto& [suite, name] : kPicks) {
+    const Script* script = find_script(suite, name);
+    if (!script) continue;
+    ScriptReport r =
+        run_script(*script, bench_cache(), options, bench_fs(), bench_pool());
+    for (int k : {2, 4, 8, 16}) {
+      double u = r.unoptimized.at(k);
+      double t = r.optimized.at(k);
+      table.add_row({std::string(suite) + "/" + name, std::to_string(k),
+                     format_seconds(u), format_seconds(t),
+                     format_speedup(u, t)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: T_k <= u_k wherever a combiner was "
+               "eliminated (gain > 1.0x), growing with k.\n";
+  return 0;
+}

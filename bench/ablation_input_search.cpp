@@ -1,0 +1,65 @@
+// Ablation: the gradient-style input-shape search (Algorithm 2) vs fixed
+// random shapes. The design claim (§3.2) is that shape mutations guided by
+// elimination counts discard incorrect candidates with fewer observations.
+// We compare surviving-candidate counts after equal observation budgets.
+
+#include <random>
+
+#include "bench_common.h"
+#include "dsl/enumerate.h"
+#include "synth/filter.h"
+#include "synth/input_search.h"
+#include "text/shellwords.h"
+#include "unixcmd/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace kq;
+  (void)argc;
+  (void)argv;
+  const char* kCommands[] = {"uniq -c", "uniq", "wc -l", "grep -c a",
+                             "sort", "tr A-Z a-z"};
+  std::cout << "Ablation: gradient input search vs fixed random shapes\n"
+               "(candidates remaining after one equal-budget round; lower "
+               "is better)\n\n";
+  bench::TextTable table({"Command", "Initial", "Gradient search",
+                          "Fixed seed shape"});
+  for (const char* line : kCommands) {
+    auto words = text::shell_split(line);
+    cmd::CommandPtr command = cmd::make_command(*words);
+    if (!command) continue;
+
+    dsl::SpaceSpec spec;
+    spec.delims = {'\n', ' '};
+    dsl::CandidateSpace space = dsl::enumerate_candidates(spec);
+    dsl::EvalContext ctx{command.get()};
+    synth::InputSearchConfig config;
+
+    // Arm 1: gradient-guided mutations.
+    std::mt19937_64 rng1(11);
+    auto guided = synth::effective_inputs(
+        *command, space.candidates, shape::seed_shape(), {}, config, ctx,
+        rng1);
+    auto survivors_guided = synth::filter_candidates(
+        space.candidates, guided.observations, ctx);
+
+    // Arm 2: same number of observations, all from the unmutated seed
+    // shape.
+    std::mt19937_64 rng2(11);
+    std::vector<shape::InputPair> pairs;
+    shape::GenOptions gen;
+    for (std::size_t i = 0; i < guided.pairs.size(); ++i)
+      pairs.push_back(shape::generate_pair(shape::seed_shape(), gen, rng2));
+    auto fixed_obs = synth::observe_all(*command, pairs);
+    auto survivors_fixed =
+        synth::filter_candidates(space.candidates, fixed_obs, ctx);
+
+    table.add_row({line, std::to_string(space.candidates.size()),
+                   std::to_string(survivors_guided.size()),
+                   std::to_string(survivors_fixed.size())});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe gradient arm should match or beat the fixed arm, "
+               "most visibly on table-shaped commands (uniq -c) whose "
+               "counterexamples need low line-diversity shapes.\n";
+  return 0;
+}

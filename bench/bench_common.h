@@ -1,0 +1,35 @@
+// Shared scaffolding for the table-reproduction binaries: each bench
+// compiles catalog scripts through the full synthesis pipeline, measures
+// them, and prints a table in the layout of the corresponding paper table
+// alongside the paper's reference numbers where useful.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_support/catalog.h"
+#include "bench_support/harness.h"
+#include "bench_support/tables.h"
+
+namespace kq::bench {
+
+inline HarnessOptions standard_options(int argc, char** argv,
+                                       std::size_t base_bytes = 256 * 1024) {
+  HarnessOptions options;
+  options.input_bytes = base_bytes * parse_scale(argc, argv);
+  return options;
+}
+
+inline exec::ThreadPool& bench_pool() {
+  static exec::ThreadPool pool(16);
+  return pool;
+}
+
+inline synth::SynthesisCache& bench_cache() {
+  static synth::SynthesisCache cache;
+  return cache;
+}
+
+inline vfs::Vfs& bench_fs() { return vfs::Vfs::global(); }
+
+}  // namespace kq::bench

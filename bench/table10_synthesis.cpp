@@ -1,0 +1,72 @@
+// Table 10: per-command synthesis results — candidate-space size with the
+// RecOp/StructOp/RunOp breakdown (reproduced exactly; see DESIGN.md §3),
+// wall-clock synthesis time, and the synthesized plausible combiner set —
+// plus the §4 synthesis-time summary footer.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "text/shellwords.h"
+#include "unixcmd/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  (void)standard_options(argc, argv);
+  kq::vfs::Vfs& fs = bench_fs();
+  generate_workload(Workload::kBookList, 1 << 14, 1, fs);
+  generate_workload(Workload::kScriptList, 1 << 14, 1, fs);
+  install_spell_dictionary(fs, 1);
+
+  std::cout << "Table 10: per-command synthesis results\n\n";
+  TextTable table({"Command", "Search space (Rec+Struct+Run)", "Time",
+                   "#P", "Synthesized plausible combiners"});
+  std::vector<double> times;
+  int no_combiner = 0;
+  for (const std::string& command_line : unique_commands()) {
+    auto words = kq::text::shell_split(command_line);
+    if (!words) continue;
+    std::string error;
+    kq::cmd::CommandPtr command = kq::cmd::make_command(*words, &error, &fs);
+    if (!command) continue;
+    auto result =
+        kq::synth::synthesize(*command, *words, kq::synth::SynthesisConfig{},
+                              &fs);
+    times.push_back(result.seconds);
+    std::string space = std::to_string(result.space.total()) + " (=" +
+                        std::to_string(result.space.rec) + "+" +
+                        std::to_string(result.space.strct) + "+" +
+                        std::to_string(result.space.run) + ")";
+    std::string plausible;
+    constexpr std::size_t kShow = 4;
+    for (std::size_t i = 0;
+         i < result.plausible.size() && i < kShow; ++i) {
+      if (i) plausible += ", ";
+      plausible += to_string(result.plausible[i]);
+    }
+    if (result.plausible.size() > kShow)
+      plausible += ", ... (" +
+                   std::to_string(result.plausible.size() - kShow) + " more)";
+    if (!result.success) {
+      plausible = "nil";
+      ++no_combiner;
+    }
+    table.add_row({command_line, space, format_seconds(result.seconds),
+                   std::to_string(result.plausible.size()), plausible});
+  }
+  table.print(std::cout);
+
+  std::sort(times.begin(), times.end());
+  if (!times.empty()) {
+    std::printf(
+        "\nSynthesis time: min %s median %s max %s over %zu commands "
+        "(%d without a combiner)\n",
+        format_seconds(times.front()).c_str(),
+        format_seconds(times[times.size() / 2]).c_str(),
+        format_seconds(times.back()).c_str(), times.size(), no_combiner);
+  }
+  std::cout << "Paper reference: spaces 2700 (=968+1728+4), 26404 "
+               "(=12440+13960+4), 110444 (=59048+51392+4) — reproduced "
+               "exactly by construction; times 39-331 s median 60 s "
+               "(process-spawn bound; ours run commands in-process).\n";
+  return 0;
+}

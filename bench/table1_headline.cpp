@@ -1,0 +1,40 @@
+// Table 1: performance results for the two longest-running scripts from
+// each benchmark suite — Parallelized k/n, Eliminated, T_orig, u1, u16,
+// T16 (with speedups relative to u1).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  HarnessOptions options = standard_options(argc, argv, 2 << 20);
+  options.parallelism = {1, 16};
+
+  std::cout << "Table 1: headline performance (input "
+            << options.input_bytes << " bytes/script; paper inputs were "
+            << "1-3.4 GB on 80 cores — compare shapes, not seconds)\n\n";
+
+  TextTable table({"Benchmark", "Script", "Parallelized", "Eliminated",
+                   "T_orig", "u1", "u16", "T16"});
+  for (const Script* script : headline_scripts()) {
+    ScriptReport r =
+        run_script(*script, bench_cache(), options, bench_fs(), bench_pool());
+    double u1 = r.unoptimized.at(1);
+    double u16 = r.unoptimized.at(16);
+    double t16 = r.optimized.at(16);
+    table.add_row({script->suite, script->name, r.parallelized_cell(),
+                   r.eliminated_cell(),
+                   format_seconds(r.t_orig) + " " +
+                       format_speedup(u1, r.t_orig),
+                   format_seconds(u1),
+                   format_seconds(u16) + " " + format_speedup(u1, u16),
+                   format_seconds(t16) + " " + format_speedup(u1, t16)});
+    if (!r.outputs_match)
+      std::cout << "WARNING: output mismatch in " << script->name << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference (Table 1): analytics-mts 2.sh 8/8, elim 3, "
+               "u16 9.3x, T16 13.5x; oneliners wf.sh 4/5, elim 1, u16 "
+               "10.7x, T16 14.4x; unix50 23.sh 6/6, elim 4, u16 8.8x, T16 "
+               "19.8x.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 3: pipeline stages parallelized with synthesized combiners and
+// combiners eliminated by the optimization, for all 70 scripts (synthesis
+// + planning only; no timing).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  HarnessOptions options = standard_options(argc, argv, 16 * 1024);
+  options.parallelism = {};      // plan only
+  options.measure_original = false;
+  options.verify_outputs = false;
+
+  std::cout << "Table 3: parallelized / eliminated stages per script\n\n";
+  TextTable table({"Benchmark", "Script", "Parallelized", "Eliminated"});
+  int total_stages = 0, total_parallel = 0, total_eliminated = 0;
+  for (const Script& script : all_scripts()) {
+    ScriptReport r =
+        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+    table.add_row({script.suite, script.name, r.parallelized_cell(),
+                   r.eliminated_cell()});
+    total_stages += r.stages_total();
+    total_parallel += r.parallelized_total();
+    total_eliminated += r.eliminated_total();
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nTotal: %d/%d stages parallelized (%.1f%%), %d combiners "
+      "eliminated (%.1f%% of parallelized)\n",
+      total_parallel, total_stages,
+      100.0 * total_parallel / total_stages, total_eliminated,
+      total_parallel ? 100.0 * total_eliminated / total_parallel : 0.0);
+  std::cout << "Paper reference: 325/427 stages (76.1%), 144 eliminated "
+               "(44.3%).\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 5: unoptimized parallel execution times u1, u2, u4, u8, u16 with
+// speedups, for all 70 scripts.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  HarnessOptions options = standard_options(argc, argv, 384 * 1024);
+  options.parallelism = {1, 2, 4, 8, 16};
+  options.measure_original = false;
+
+  std::cout << "Table 5: unoptimized scaling (u_k)\n\n";
+  TextTable table({"Benchmark", "Script", "u1", "u2", "u4", "u8", "u16"});
+  for (const Script& script : all_scripts()) {
+    ScriptReport r =
+        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+    double u1 = r.unoptimized.at(1);
+    auto cell = [&](int k) {
+      double u = r.unoptimized.at(k);
+      return format_seconds(u) + " " + format_speedup(u1, u);
+    };
+    table.add_row({script.suite, script.name, format_seconds(u1), cell(2),
+                   cell(4), cell(8), cell(16)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference medians: u2 1.5x, u4 2.8x, u8 4.2x, "
+               "u16 5.3x (80-core server; here speedups saturate at the "
+               "machine's core count).\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 6: optimized parallel execution times T1..T16 (intermediate
+// combiners eliminated) with speedups relative to u1, for all 70 scripts.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  HarnessOptions options = standard_options(argc, argv, 384 * 1024);
+  options.parallelism = {1, 2, 4, 8, 16};
+  options.measure_original = false;
+
+  std::cout << "Table 6: optimized scaling (T_k)\n\n";
+  TextTable table(
+      {"Benchmark", "Script", "u1", "T2", "T4", "T8", "T16"});
+  for (const Script& script : all_scripts()) {
+    ScriptReport r =
+        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+    double u1 = r.unoptimized.at(1);
+    auto cell = [&](int k) {
+      double t = r.optimized.at(k);
+      return format_seconds(t) + " " + format_speedup(u1, t);
+    };
+    table.add_row({script.suite, script.name, format_seconds(u1), cell(2),
+                   cell(4), cell(8), cell(16)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference medians: T2 2.0x, T4 3.5x, T8 5.1x, "
+               "T16 7.1x.\n";
+  return 0;
+}

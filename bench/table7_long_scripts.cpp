@@ -1,0 +1,43 @@
+// Table 7: performance results restricted to the scripts whose serial
+// execution time was at least 3 minutes in the paper (we run the same
+// named subset at a larger input size than the other tables).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  HarnessOptions options = standard_options(argc, argv, 1 << 20);
+  options.parallelism = {1, 16};
+
+  std::cout << "Table 7: long-running scripts (paper's u1 >= 3 min subset)\n\n";
+  TextTable table({"Benchmark", "Script", "Parallelized", "Eliminated",
+                   "T_orig", "u1", "u16", "T16"});
+  std::vector<double> u_speedups, t_speedups;
+  for (const Script* script : long_scripts()) {
+    ScriptReport r =
+        run_script(*script, bench_cache(), options, bench_fs(), bench_pool());
+    double u1 = r.unoptimized.at(1);
+    double u16 = r.unoptimized.at(16);
+    double t16 = r.optimized.at(16);
+    table.add_row({script->suite, script->name, r.parallelized_cell(),
+                   r.eliminated_cell(),
+                   format_seconds(r.t_orig) + " " +
+                       format_speedup(u1, r.t_orig),
+                   format_seconds(u1),
+                   format_seconds(u16) + " " + format_speedup(u1, u16),
+                   format_seconds(t16) + " " + format_speedup(u1, t16)});
+    if (u16 > 0) u_speedups.push_back(u1 / u16);
+    if (t16 > 0) t_speedups.push_back(u1 / t16);
+  }
+  table.print(std::cout);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+  };
+  std::printf("\nMedian speedups: u16 %.1fx, T16 %.1fx\n",
+              median(u_speedups), median(t_speedups));
+  std::cout << "Paper reference: median u16 8.5x, median T16 11.3x.\n";
+  return 0;
+}

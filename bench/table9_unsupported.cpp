@@ -1,0 +1,58 @@
+// Table 9: commands for which no correct combiner exists. The synthesizer
+// must return nil for each, and we report the reason in the paper's terms
+// (counterexample input streams).
+
+#include "bench_common.h"
+#include "text/shellwords.h"
+#include "unixcmd/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace kq::bench;
+  (void)argc;
+  (void)argv;
+  struct Entry {
+    const char* command;
+    const char* reason;
+  };
+  const Entry kUnsupported[] = {
+      {"sed 1d", "no combiner exists: each of x1,x2 has >= 1 line"},
+      {"sed 2d", "no combiner exists: each of x1,x2 has >= 2 lines"},
+      {"sed 3d", "no combiner exists: each of x1,x2 has >= 3 lines"},
+      {"sed 4d", "no combiner exists: each of x1,x2 has >= 4 lines"},
+      {"sed 5d", "no combiner exists: each of x1,x2 has >= 5 lines"},
+      {"tail +2", "no combiner exists: each of x1,x2 has >= 1 line"},
+      {"tail +3", "no combiner exists: each of x1,x2 has >= 2 lines"},
+      {"awk '$1 == 2 {print $2, $3}'",
+       "generated inputs never make the command produce output, so no "
+       "combiner is validated (paper Table 9, same reason)"},
+  };
+
+  std::cout << "Table 9: unsupported commands (synthesizer must return "
+               "nil)\n\n";
+  TextTable table({"Command", "Synthesis", "Reason unsupported (paper)"});
+  int correctly_rejected = 0;
+  for (const Entry& e : kUnsupported) {
+    auto argv_words = kq::text::shell_split(e.command);
+    std::string error;
+    kq::cmd::CommandPtr command =
+        kq::cmd::make_command(*argv_words, &error, &bench_fs());
+    if (!command) {
+      table.add_row({e.command, "unsupported flags", e.reason});
+      continue;
+    }
+    auto result = kq::synth::synthesize(*command, *argv_words);
+    std::string verdict;
+    if (result.success) {
+      verdict = "combiner found: " + result.combiner.to_string();
+    } else {
+      verdict = "nil (correct)";
+      ++correctly_rejected;
+    }
+    table.add_row({e.command, verdict, e.reason});
+  }
+  table.print(std::cout);
+  std::cout << "\n" << correctly_rejected
+            << " of 8 unsupported commands rejected "
+               "(paper: 8 unsupported of 121 unique commands).\n";
+  return 0;
+}

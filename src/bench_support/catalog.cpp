@@ -1,0 +1,331 @@
+#include "bench_support/catalog.h"
+
+#include <set>
+
+#include "text/shellwords.h"
+#include "text/strings.h"
+
+namespace kq::bench {
+namespace {
+
+// Shorthand: the poets scripts all start by mapping book names to paths
+// and concatenating the books (Unix-for-Poets structure).
+const std::string kPoets = "sed 's;^;pg/;' | xargs cat | ";
+
+std::vector<Script> build_catalog() {
+  std::vector<Script> scripts;
+  auto add = [&scripts](std::string suite, std::string name, Workload input,
+                        std::vector<std::string> pipelines,
+                        std::size_t bytes = 1 << 20) {
+    scripts.push_back(Script{std::move(suite), std::move(name),
+                             std::move(pipelines), input, bytes});
+  };
+
+  // ----------------------------------------------------- analytics-mts --
+  // Athens bus telemetry: f1=datetime, f2=line, f3=vehicle.
+  add("analytics-mts", "1.sh (vehicles per day)", Workload::kTransitCsv,
+      {"sed 's/T..:..:..//' | cut -d ',' -f 1,3 | sort -u | "
+       "cut -d ',' -f 1 | sort | uniq -c | awk -v OFS='\\t' '{print $2,$1}'"});
+  add("analytics-mts", "2.sh (vehicle days on road)", Workload::kTransitCsv,
+      {"sed 's/T..:..:..//' | cut -d ',' -f 1,3 | sort -u | "
+       "cut -d ',' -f 2 | sort | uniq -c | sort -k1n | "
+       "awk -v OFS='\\t' '{print $2,$1}'"});
+  add("analytics-mts", "3.sh (vehicle hours on road)", Workload::kTransitCsv,
+      {"sed 's/T\\(..\\):..:../,\\1/' | cut -d ',' -f 1,2,4 | sort -u | "
+       "cut -d ',' -f 3 | sort | uniq -c | sort -k1n | "
+       "awk -v OFS='\\t' '{print $2,$1}'"});
+  add("analytics-mts", "4.sh (hours monitored per day)",
+      Workload::kTransitCsv,
+      {"sed 's/T\\(..\\):..:../,\\1/' | cut -d ',' -f 1,2 | sort -u | "
+       "cut -d ',' -f 1 | sort | uniq -c | "
+       "awk -v OFS='\\t' '{print $2,$1}'"});
+
+  // --------------------------------------------------------- oneliners --
+  add("oneliners", "bi-grams.sh", Workload::kGutenberg,
+      {"tr -cs A-Za-z '\\n' | tr A-Z a-z | paste - - | sort | uniq"});
+  add("oneliners", "diff.sh", Workload::kGutenberg,
+      {"sed 1d",
+       "tr '[:lower:]' '[:upper:]' | sort",
+       "tr '[:upper:]' '[:lower:]' | sort",
+       "tail +2",
+       "paste - -"});
+  add("oneliners", "nfa-regex.sh", Workload::kGutenberg,
+      {"tr A-Z a-z | grep '\\(.\\).*\\1\\(.\\).*\\2\\(.\\).*\\3\\(.\\).*\\4'"});
+  add("oneliners", "set-diff.sh", Workload::kGutenberg,
+      {"sed 1d",
+       "cut -d ' ' -f 1 | tr A-Z a-z | sort",
+       "tr '[:lower:]' '[:upper:]' | sort",
+       "tail +2",
+       "paste - -"});
+  add("oneliners", "shortest-scripts.sh", Workload::kScriptList,
+      {"xargs file | grep 'shell script' | cut -d: -f1 | xargs -L 1 wc -l | "
+       "grep -v '^0$' | sort -n | head -15"});
+  add("oneliners", "sort-sort.sh", Workload::kGutenberg,
+      {"tr A-Z a-z | sort | sort -r"});
+  add("oneliners", "sort.sh", Workload::kGutenberg, {"sort"});
+  add("oneliners", "spell.sh", Workload::kGutenberg,
+      {"iconv -f utf-8 -t ascii//translit | col -bx | tr -cs A-Za-z '\\n' | "
+       "tr A-Z a-z | tr -d '[:punct:]' | sort | uniq | comm -23 - "
+       "dict.sorted"});
+  add("oneliners", "top-n.sh", Workload::kGutenberg,
+      {"tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn | "
+       "sed 100q"});
+  add("oneliners", "wf.sh", Workload::kGutenberg,
+      {"tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn"});
+
+  // ------------------------------------------------------------- poets --
+  add("poets", "1_1.sh (count_words)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq -c | sort -rn"});
+  add("poets", "2_1.sh (merge_upper)", Workload::kBookList,
+      {kPoets + "tr '[a-z]' '[A-Z]' | tr -sc '[A-Z]' '[\\012*]' | sort | "
+                "uniq -c | sort -rn"});
+  add("poets", "2_2.sh (count_vowel_seq)", Workload::kBookList,
+      {kPoets + "tr 'a-z' '[A-Z]' | tr -sc 'AEIOU' '[\\012*]' | sort | "
+                "uniq -c | sort -rn"});
+  add("poets", "3_1.sh (sort)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq -c | sort -nr | "
+                "head"});
+  add("poets", "3_2.sh (sort_words_by_folding)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | sort -f | uniq -c | "
+                "sort -nr | head"});
+  add("poets", "3_3.sh (sort_words_by_rhyming)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | rev | sort | rev | "
+                "uniq -c | sort -nr | head"});
+  add("poets", "4_3.sh (bigrams)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z",
+       "tail +2",
+       "paste - - | sort | uniq -c"});
+  add("poets", "4_3b.sh (count_trigrams)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z",
+       "tail +2",
+       "tail +3",
+       "paste - - - | sort | uniq -c"});
+  add("poets", "6_1.sh (trigram_rec)", Workload::kBookList,
+      {kPoets + "grep 'the land of' | sort | uniq -c | sort -nr | sed 5q",
+       kPoets + "grep 'And he said' | sort | uniq -c | sort -nr | sed 5q"});
+  add("poets", "6_1_1.sh (uppercase_by_token)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | grep '^[A-Z]' | wc -l"});
+  add("poets", "6_1_2.sh (uppercase_by_type)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq | "
+                "grep -c '^[A-Z]'"});
+  add("poets", "6_2.sh (4letter_words)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | "
+                "grep -c '^....$'",
+       kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | grep '^....$' | sort -u | "
+                "wc -l"});
+  add("poets", "6_3.sh (words_no_vowels)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | grep -vi '[aeiou]' | "
+                "sort | uniq -c | sort -nr"});
+  add("poets", "6_4.sh (1syllable_words)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | "
+                "grep -i '^[^aeiou]*[aeiou][^aeiou]*$' | sort | uniq -c | "
+                "sort -nr"});
+  add("poets", "6_5.sh (2syllable_words)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | "
+                "grep -i '^[^aeiou]*[aeiou][^aeiou]*[aeiou][^aeiou]*$' | "
+                "sort | uniq -c | sort -nr"});
+  add("poets", "6_7.sh (verses_2om_3om_2instances)", Workload::kBookList,
+      {kPoets + "grep 'light.*light' | wc -l",
+       kPoets + "grep 'light.*light.*light' | wc -l",
+       kPoets + "grep 'light' | grep 'light.*light' | "
+                "grep -vc 'light.*light.*light'"});
+  add("poets", "7_2.sh (count_consonant_seq)", Workload::kBookList,
+      {kPoets + "tr 'a-z' '[A-Z]' | tr -sc 'BCDFGHJKLMNPQRSTVWXYZ' "
+                "'[\\012*]' | sort | uniq -c | sort -nr"});
+  add("poets", "8.2_1.sh (vowel_sequencies_gr_1K)", Workload::kBookList,
+      {kPoets + "tr -sc 'AEIOUaeiou' '[\\012*]' | sort | uniq -c | "
+                "awk '$1 >= 1000' | sort -rn | head"});
+  add("poets", "8.2_2.sh (bigrams_appear_twice)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z",
+       "tail +2",
+       "paste - - | sort | uniq -c",
+       "sed 1d"});
+  add("poets", "8.3_2.sh (find_anagrams)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | sort -u",
+       "rev",
+       "sort",
+       "uniq -c | awk '$1 >= 2 {print $2}' | sort"});
+  add("poets", "8.3_3.sh (compare_exodus_genesis)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | sort | uniq",
+       "sort | head",
+       "sort | uniq -c | head"});
+  add("poets", "8_1.sh (sort_words_by_n_syllables)", Workload::kBookList,
+      {kPoets + "tr -sc '[A-Z][a-z]' '[\\012*]' | tr A-Z a-z | sort -u",
+       "tr -sc '[AEIOUaeiou\\012]' ' ' | awk '{print NF}'",
+       "paste - - | sort -n | uniq -c"});
+
+  // ------------------------------------------------------------ unix50 --
+  add("unix50", "1.sh (1.0: extract last name)", Workload::kNameList,
+      {"cut -d ' ' -f 2"});
+  add("unix50", "2.sh (1.1: extract names and sort)", Workload::kNameList,
+      {"cut -d ' ' -f 2 | sort"});
+  add("unix50", "3.sh (1.2: extract names and sort)", Workload::kNameList,
+      {"sort | head -n 2"});
+  add("unix50", "4.sh (1.3: sort top first names)", Workload::kNameList,
+      {"cut -d ' ' -f 1 | sort | uniq -c | sort -rn"});
+  add("unix50", "5.sh (2.1: all Unix utilities)", Workload::kFreeText,
+      {"cut -d ' ' -f 4 | tr -d ','"});
+  add("unix50", "6.sh (3.1: first letter of last names)", Workload::kNameList,
+      {"cut -d ' ' -f 2 | cut -c 1-1 | sort | uniq -c"});
+  add("unix50", "7.sh (4.1: number of rounds)", Workload::kChessGames,
+      {"tr ' ' '\\n' | grep '\\.' | wc -l"});
+  add("unix50", "8.sh (4.2: pieces captured)", Workload::kChessGames,
+      {"tr ' ' '\\n' | grep 'x' | grep '\\.' | wc -l"});
+  add("unix50", "9.sh (4.3: pieces captured with pawn)",
+      Workload::kChessGames,
+      {"tr ' ' '\\n' | grep 'x' | grep '\\.' | cut -d '.' -f 2 | "
+       "grep -v '[KQRBN]' | wc -l"});
+  add("unix50", "10.sh (4.4: histogram by piece)", Workload::kChessGames,
+      {"tr ' ' '\\n' | grep 'x' | grep '\\.' | cut -d '.' -f 2 | "
+       "grep '[KQRBN]' | cut -c 1-1 | sort | uniq -c | sort -rn"});
+  add("unix50", "11.sh (4.5: histogram by piece and pawn)",
+      Workload::kChessGames,
+      {"tr ' ' '\\n' | grep 'x' | grep '\\.' | cut -d '.' -f 2 | "
+       "tr '[a-z]' 'P' | cut -c 1-1 | sort | uniq -c | sort -rn"});
+  add("unix50", "12.sh (4.6: piece used most)", Workload::kChessGames,
+      {"tr ' ' '\\n' | grep '\\.' | cut -d '.' -f 2 | cut -c 1-1 | sort | "
+       "uniq -c | sort -rn | head -n 3 | tail -n 1"});
+  add("unix50", "13.sh (5.1: extract hellow world)", Workload::kCodeText,
+      {"grep 'print' | cut -d '\"' -f 2 | cut -c 1-12"});
+  add("unix50", "14.sh (6.1: order bodies)", Workload::kNameList,
+      {"awk '{print $2, $0}' | sort -nr | cut -d ' ' -f 2"});
+  add("unix50", "15.sh (7.1: number of versions)", Workload::kTabRecords,
+      {"cut -f 1 | grep 'AT&T' | wc -l"});
+  add("unix50", "16.sh (7.2: most frequent machine)", Workload::kTabRecords,
+      {"cut -f 2 | sort | uniq -c | sort -rn | head -n 1 | tr -s ' ' '\\n' | "
+       "tail -n 1"});
+  add("unix50", "17.sh (7.3: decades unix released)", Workload::kTabRecords,
+      {"cut -f 4 | cut -c 3-3 | sort | uniq | sed s/$/0s/"});
+  add("unix50", "18.sh (8.1: count unix birth-year)", Workload::kFreeText,
+      {"tr ' ' '\\n' | grep 1969 | wc -l"});
+  add("unix50", "19.sh (8.2: location office)", Workload::kFreeText,
+      {"grep 'Bell' | awk 'length <= 45' | sort -u | awk '{$1=$1};1'"});
+  add("unix50", "20.sh (8.3: four most involved)", Workload::kFreeText,
+      {"grep '(' | cut -d '(' -f 2 | cut -d ')' -f 1 | head -n 4"});
+  add("unix50", "21.sh (8.4: longest words w/o hyphens)",
+      Workload::kGutenberg,
+      {"tr -c '[a-z][A-Z]' '\\n' | sort -u | awk 'length >= 16'"});
+  add("unix50", "23.sh (9.1: extract word PORT)", Workload::kFreeText,
+      {"tr -s ' ' '\\n' | grep '[A-Z]' | tr '[a-z]' '\\n' | grep -v '^$' | "
+       "tr -d '\\n' | cut -c 1-4"});
+  add("unix50", "24.sh (9.2: extract word BELL)", Workload::kFreeText,
+      {"tr -s ' ' '\\n' | grep 'BELL'"});
+  add("unix50", "25.sh (9.3: animal decorate)", Workload::kFreeText,
+      {"cut -c 1-2 | sort -u"});
+  add("unix50", "26.sh (9.4: four corners)", Workload::kFreeText,
+      {"grep '\"' | cut -d '\"' -f 2 | head -n 4 | sort | uniq"});
+  add("unix50", "28.sh (9.6: follow directions)", Workload::kFreeText,
+      {"tr -c '[A-Z]' '\\n' | grep -v '^$' | cut -c 1-1 | head -n 40 | "
+       "tail -n 20 | sort | uniq -c | sort -rn | head -n 5 | rev"});
+  add("unix50", "29.sh (9.7: four corners)", Workload::kFreeText,
+      {"head -n 10 | tail -n 3 | cut -c 1-2 | rev"});
+  add("unix50", "30.sh (9.8: TELE-communications)", Workload::kFreeText,
+      {"tr -c '[a-z][A-Z]' '\\n' | grep -v '^$' | cut -c 1-4 | sort | "
+       "uniq -c | sort -rn | head -n 8 | rev"});
+  add("unix50", "31.sh (9.9)", Workload::kFreeText,
+      {"tr -c '[a-z][A-Z]' '\\n' | grep -v '^$' | rev | cut -c 1-2 | sort | "
+       "uniq -c | sort -rn | head -n 10 | tail -n 3"});
+  add("unix50", "32.sh (10.1: count recipients)", Workload::kMailText,
+      {"grep 'To:' | tr -s ' ' '\\n' | grep '@' | wc -l"});
+  add("unix50", "33.sh (10.2: list recipients)", Workload::kMailText,
+      {"grep 'To:' | cut -d ' ' -f 2 | sort -u"});
+  add("unix50", "34.sh (10.3: extract username)", Workload::kMailText,
+      {"grep '@' | tr -s ' ' '\\n' | grep '@' | fmt -w1 | sed 's/@.*//' | "
+       "sort -u | tr '[A-Z]' '[a-z]'"});
+  add("unix50", "35.sh (11.1: year received medal)", Workload::kTabRecords,
+      {"grep 'Unix' | cut -f 4"});
+  add("unix50", "36.sh (11.2: most repeated first name)",
+      Workload::kNameList,
+      {"cut -d ' ' -f 1 | sort | uniq -c | sort -rn | head -n 1 | "
+       "tr -s ' ' '\\n' | grep -v '^$' | tail -n 1"});
+
+  return scripts;
+}
+
+}  // namespace
+
+const std::vector<Script>& all_scripts() {
+  static const std::vector<Script> catalog = build_catalog();
+  return catalog;
+}
+
+const Script* find_script(const std::string& suite,
+                          const std::string& name_prefix) {
+  for (const Script& s : all_scripts()) {
+    if (s.suite == suite && s.name.rfind(name_prefix, 0) == 0) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Script*> headline_scripts() {
+  // Table 1: the two longest-running scripts per suite.
+  static const std::pair<const char*, const char*> kPicks[] = {
+      {"analytics-mts", "2.sh"}, {"analytics-mts", "3.sh"},
+      {"oneliners", "set-diff.sh"}, {"oneliners", "wf.sh"},
+      {"poets", "4_3b.sh"}, {"poets", "8.2_2.sh"},
+      {"unix50", "21.sh"}, {"unix50", "23.sh"},
+  };
+  std::vector<const Script*> out;
+  for (const auto& [suite, name] : kPicks) {
+    const Script* s = find_script(suite, name);
+    if (s) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<const Script*> long_scripts() {
+  // Table 7: scripts with serial time >= 3 minutes in the paper.
+  static const std::pair<const char*, const char*> kPicks[] = {
+      {"analytics-mts", "1.sh"}, {"analytics-mts", "2.sh"},
+      {"analytics-mts", "3.sh"}, {"oneliners", "bi-grams.sh"},
+      {"oneliners", "diff.sh"}, {"oneliners", "nfa-regex.sh"},
+      {"oneliners", "set-diff.sh"}, {"oneliners", "sort.sh"},
+      {"oneliners", "spell.sh"}, {"oneliners", "top-n.sh"},
+      {"oneliners", "wf.sh"}, {"poets", "1_1.sh"}, {"poets", "2_1.sh"},
+      {"poets", "3_1.sh"}, {"poets", "3_2.sh"}, {"poets", "3_3.sh"},
+      {"poets", "4_3.sh"}, {"poets", "4_3b.sh"}, {"poets", "6_1_2.sh"},
+      {"poets", "6_2.sh"}, {"poets", "6_3.sh"}, {"poets", "6_4.sh"},
+      {"poets", "6_5.sh"}, {"poets", "7_2.sh"}, {"poets", "8.2_1.sh"},
+      {"poets", "8.2_2.sh"}, {"poets", "8.3_2.sh"}, {"poets", "8.3_3.sh"},
+      {"poets", "8_1.sh"}, {"unix50", "14.sh"}, {"unix50", "21.sh"},
+      {"unix50", "23.sh"}, {"unix50", "28.sh"},
+  };
+  std::vector<const Script*> out;
+  for (const auto& [suite, name] : kPicks) {
+    const Script* s = find_script(suite, name);
+    if (s) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> unique_commands() {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const Script& script : all_scripts()) {
+    for (const std::string& pipeline : script.pipelines) {
+      auto stages = text::split_pipeline(pipeline);
+      if (!stages) continue;
+      for (const std::string& stage : *stages) {
+        std::string display = std::string(text::trim(stage));
+        if (display.empty()) continue;
+        if (display.rfind("cat ", 0) == 0 || display == "cat") continue;
+        if (seen.insert(display).second) out.push_back(display);
+      }
+    }
+  }
+  return out;
+}
+
+std::string prepare_input(const Script& script, std::size_t bytes,
+                          std::uint64_t seed, vfs::Vfs& fs) {
+  std::string input = generate_workload(script.input, bytes, seed, fs);
+  for (const std::string& pipeline : script.pipelines) {
+    if (pipeline.find("dict.sorted") != std::string::npos) {
+      install_spell_dictionary(fs, seed);
+      break;
+    }
+  }
+  return input;
+}
+
+}  // namespace kq::bench

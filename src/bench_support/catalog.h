@@ -1,0 +1,49 @@
+// The 70-script benchmark catalog (§4): analytics-mts (4), oneliners (10),
+// poets (22), unix50 (34). Each script is reconstructed from the commands
+// the paper's Table 10 attributes to it and the per-pipeline stage counts
+// of Table 3; where the original script is not public, a faithful
+// stand-in with the same command mix and stage count is used (noted in
+// DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_support/workloads.h"
+
+namespace kq::bench {
+
+struct Script {
+  std::string suite;              // "analytics-mts" | "oneliners" | ...
+  std::string name;               // "2.sh (vehicle days on road)"
+  std::vector<std::string> pipelines;  // each "cmd | cmd | ..." (no cat)
+  Workload input;
+  // Baseline input size used by the quick benchmark profile; the harness
+  // scales this with its --scale flag.
+  std::size_t default_bytes = 1 << 20;
+};
+
+// All 70 scripts, in suite order.
+const std::vector<Script>& all_scripts();
+
+// The paper's Table 1/7 "two longest-running scripts per suite" selection.
+std::vector<const Script*> headline_scripts();
+
+// Scripts in the paper's Table 7 (serial time >= 3 minutes) — used for the
+// long-script table.
+std::vector<const Script*> long_scripts();
+
+// Finds a script by "<suite>/<name prefix>"; nullptr if absent.
+const Script* find_script(const std::string& suite,
+                          const std::string& name_prefix);
+
+// Every unique stage command line across the catalog, in first-appearance
+// order (the paper's "121 unique commands" universe for Tables 8-10).
+std::vector<std::string> unique_commands();
+
+// Prepares the VFS fixtures a script needs (book files, dictionaries,
+// script trees) and returns the stdin stream for the script.
+std::string prepare_input(const Script& script, std::size_t bytes,
+                          std::uint64_t seed, vfs::Vfs& fs);
+
+}  // namespace kq::bench

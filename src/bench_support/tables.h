@@ -1,0 +1,29 @@
+// Plain-text table formatting for the benchmark binaries, in the layout of
+// the paper's tables (script rows, time columns with "(N.N x)" speedups).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace kq::bench {
+
+// Formats seconds compactly: "12.34 s" / "0.123 s".
+std::string format_seconds(double seconds);
+
+// "(8.4x)" speedup of `t` relative to `base`; "(n/a)" for nonpositive input.
+std::string format_speedup(double base, double t);
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kq::bench

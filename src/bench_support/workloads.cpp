@@ -1,0 +1,347 @@
+#include "bench_support/workloads.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+namespace kq::bench {
+namespace {
+
+// A Zipf-ish English vocabulary: early words are drawn far more often,
+// giving the duplicate-heavy distribution word-frequency pipelines expect.
+constexpr std::array<std::string_view, 64> kVocabulary = {
+    "the",     "of",     "and",    "to",      "a",        "in",
+    "that",    "he",     "was",    "it",      "his",      "is",
+    "with",    "as",     "for",    "had",     "you",      "not",
+    "be",      "her",    "on",     "at",      "by",       "which",
+    "have",    "or",     "from",   "this",    "him",      "but",
+    "all",     "she",    "they",   "were",    "my",       "are",
+    "me",      "one",    "their",  "so",      "an",       "said",
+    "them",    "we",     "who",    "would",   "been",     "will",
+    "no",      "when",   "there",  "if",      "more",     "out",
+    "up",      "into",   "light",  "moonlight", "daylight", "kumquat",
+    "rhythm",  "syllable", "anagram", "lighthouse"};
+
+std::string_view pick_word(std::mt19937_64& rng) {
+  // Squared-uniform index approximates a Zipf distribution.
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  double x = u(rng);
+  auto idx = static_cast<std::size_t>(x * x * kVocabulary.size());
+  if (idx >= kVocabulary.size()) idx = kVocabulary.size() - 1;
+  return kVocabulary[idx];
+}
+
+std::string gutenberg(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> words_per_line(4, 12);
+  std::uniform_int_distribution<int> punct(0, 19);
+  std::string out;
+  out.reserve(bytes + 80);
+  while (out.size() < bytes) {
+    int n = words_per_line(rng);
+    for (int i = 0; i < n; ++i) {
+      std::string word(pick_word(rng));
+      if (i == 0 || punct(rng) == 0)
+        word[0] = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(word[0])));
+      if (i != 0) out.push_back(' ');
+      out += word;
+      int p = punct(rng);
+      if (p == 1) out.push_back(',');
+      if (p == 2 && i == n - 1) out.push_back('.');
+    }
+    // Occasional accented word exercises iconv//translit.
+    if (punct(rng) == 3) out += " caf\xC3\xA9";
+    out.push_back('\n');
+    if (punct(rng) == 4) out.push_back('\n');  // paragraph break
+  }
+  return out;
+}
+
+std::string transit_csv(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> day(1, 28), month(1, 12), hour(5, 23),
+      minute(0, 59), vehicle(1, 40), line(1, 12);
+  std::string out;
+  out.reserve(bytes + 64);
+  char buf[64];
+  while (out.size() < bytes) {
+    std::snprintf(buf, sizeof(buf),
+                  "2020-%02d-%02dT%02d:%02d:%02d,L%d,V%03d\n", month(rng),
+                  day(rng), hour(rng), minute(rng), minute(rng), line(rng),
+                  vehicle(rng));
+    out += buf;
+  }
+  return out;
+}
+
+std::string chess_games(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr std::array<std::string_view, 10> kMoves = {
+      "e4", "e5", "Nf3", "Nc6", "Bb5", "a6", "Qxd5", "Kxe7", "Rxa8", "cxd4"};
+  std::uniform_int_distribution<std::size_t> pick(0, kMoves.size() - 1);
+  std::uniform_int_distribution<int> moves_per_line(2, 6);
+  std::string out;
+  out.reserve(bytes + 64);
+  int move_no = 1;
+  while (out.size() < bytes) {
+    int n = moves_per_line(rng);
+    for (int i = 0; i < n; ++i) {
+      if (i != 0) out.push_back(' ');
+      out += std::to_string(move_no++);
+      out.push_back('.');
+      out += kMoves[pick(rng)];
+    }
+    out.push_back('\n');
+    if (move_no > 400) move_no = 1;
+  }
+  return out;
+}
+
+std::string name_list(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr std::array<std::string_view, 12> kFirst = {
+      "Ken", "Dennis", "Brian", "Doug", "Rob", "Bjarne", "Grace", "Ada",
+      "Alan", "Barbara", "Donald", "Edsger"};
+  constexpr std::array<std::string_view, 12> kLast = {
+      "Thompson", "Ritchie", "Kernighan", "McIlroy", "Pike", "Stroustrup",
+      "Hopper", "Lovelace", "Turing", "Liskov", "Knuth", "Dijkstra"};
+  std::uniform_int_distribution<std::size_t> pf(0, kFirst.size() - 1);
+  std::uniform_int_distribution<std::size_t> pl(0, kLast.size() - 1);
+  std::string out;
+  out.reserve(bytes + 32);
+  while (out.size() < bytes) {
+    out += kFirst[pf(rng)];
+    out.push_back(' ');
+    out += kLast[pl(rng)];
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string tab_records(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr std::array<std::string_view, 6> kSystems = {
+      "Unix", "Multics", "Plan9", "Inferno", "CTSS", "ITS"};
+  constexpr std::array<std::string_view, 6> kMachines = {
+      "PDP-7", "PDP-11", "VAX-11", "IBM-7094", "GE-645", "Interdata"};
+  constexpr std::array<std::string_view, 4> kOrigins = {"AT&T", "MIT", "GE",
+                                                        "Bell"};
+  std::uniform_int_distribution<std::size_t> ps(0, kSystems.size() - 1);
+  std::uniform_int_distribution<std::size_t> pm(0, kMachines.size() - 1);
+  std::uniform_int_distribution<std::size_t> po(0, kOrigins.size() - 1);
+  std::uniform_int_distribution<int> year(1964, 1979), version(1, 10);
+  std::string out;
+  out.reserve(bytes + 64);
+  while (out.size() < bytes) {
+    out += kSystems[ps(rng)];
+    out.push_back('\t');
+    out += kMachines[pm(rng)];
+    out.push_back('\t');
+    out += std::to_string(version(rng));
+    out.push_back('\t');
+    out += std::to_string(year(rng));
+    out.push_back('\t');
+    out += kOrigins[po(rng)];
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string free_text(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::string base = gutenberg(bytes, seed ^ 0x5a5a);
+  // Decorate with quotes, parentheses, PORT/BELL tokens, and hyphens so
+  // the 8.x/9.x puzzle pipelines have something to find.
+  std::string out;
+  out.reserve(base.size() + base.size() / 8);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    char c = base[i];
+    if (c == '\n') {
+      switch (kind(rng)) {
+        case 0: out += " \"four corners\""; break;
+        case 1: out += " (Bell Labs)"; break;
+        case 2: out += " PORTmanteau"; break;
+        case 3: out += " BELLwether"; break;
+        case 4: out += " tele-communications"; break;
+        case 5: out += " 1969"; break;
+        default: break;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string mail_text(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  constexpr std::array<std::string_view, 8> kUsers = {
+      "ken", "dmr", "bwk", "doug", "rob", "ewd", "gnu", "uucp"};
+  constexpr std::array<std::string_view, 4> kHosts = {
+      "research.att.com", "mit.edu", "bell-labs.com", "berkeley.edu"};
+  std::uniform_int_distribution<std::size_t> pu(0, kUsers.size() - 1);
+  std::uniform_int_distribution<std::size_t> ph(0, kHosts.size() - 1);
+  std::uniform_int_distribution<int> body_lines(1, 4);
+  std::string out;
+  out.reserve(bytes + 128);
+  std::string prose = gutenberg(bytes, seed ^ 0x77);
+  std::size_t prose_pos = 0;
+  auto next_prose_line = [&]() {
+    std::size_t end = prose.find('\n', prose_pos);
+    if (end == std::string::npos) {
+      prose_pos = 0;
+      end = prose.find('\n');
+    }
+    std::string line = prose.substr(prose_pos, end - prose_pos);
+    prose_pos = end + 1;
+    return line;
+  };
+  while (out.size() < bytes) {
+    out += "From: ";
+    out += kUsers[pu(rng)];
+    out.push_back('@');
+    out += kHosts[ph(rng)];
+    out.push_back('\n');
+    out += "To: ";
+    out += kUsers[pu(rng)];
+    out.push_back('@');
+    out += kHosts[ph(rng)];
+    out.push_back('\n');
+    int n = body_lines(rng);
+    for (int i = 0; i < n; ++i) {
+      out += next_prose_line();
+      out.push_back('\n');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string code_text(std::size_t bytes, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::uniform_int_distribution<int> value(0, 999);
+  std::string out;
+  out.reserve(bytes + 64);
+  while (out.size() < bytes) {
+    switch (kind(rng)) {
+      case 0:
+        out += "    print(\"hello world #" + std::to_string(value(rng)) +
+               "\")\n";
+        break;
+      case 1:
+        out += "x = " + std::to_string(value(rng)) + "\n";
+        break;
+      case 2:
+        out += "if x > " + std::to_string(value(rng)) + ":\n";
+        break;
+      case 3:
+        out += "# comment about value " + std::to_string(value(rng)) + "\n";
+        break;
+      case 4:
+        out += "def f_" + std::to_string(value(rng)) + "(y):\n";
+        break;
+      default:
+        out += "    return y\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string install_files(vfs::Vfs& fs, std::size_t bytes,
+                          std::uint64_t seed, bool scripts) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> lines(3, 40);
+  // Spread the byte budget over a fixed fan-out of files.
+  constexpr int kFiles = 24;
+  std::size_t per_file = bytes / kFiles + 1;
+  std::string file_list;
+  for (int i = 0; i < kFiles; ++i) {
+    std::string name;
+    std::string listed;  // the name as it appears on the input stream
+    std::string contents;
+    if (scripts && i % 3 == 0) {
+      name = "bin/tool" + std::to_string(i) + ".sh";
+      listed = name;
+      contents = "#!/bin/sh\n";
+      int n = lines(rng);
+      for (int l = 0; l < n; ++l)
+        contents += "echo step " + std::to_string(l) + "\n";
+    } else if (scripts) {
+      name = "bin/data" + std::to_string(i) + ".txt";
+      listed = name;
+      contents = gutenberg(per_file / 4 + 16, seed + static_cast<unsigned>(i));
+    } else {
+      // Books are installed under pg/ but listed bare: the poets scripts
+      // prepend the path with `sed 's;^;pg/;'`.
+      listed = "book" + std::to_string(i) + ".txt";
+      name = "pg/" + listed;
+      contents = gutenberg(per_file, seed + static_cast<unsigned>(i));
+    }
+    fs.write(name, std::move(contents));
+    file_list += listed;
+    file_list.push_back('\n');
+  }
+  return file_list;
+}
+
+}  // namespace
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::kGutenberg: return "gutenberg";
+    case Workload::kBookList: return "book-list";
+    case Workload::kTransitCsv: return "transit-csv";
+    case Workload::kChessGames: return "chess-games";
+    case Workload::kNameList: return "name-list";
+    case Workload::kTabRecords: return "tab-records";
+    case Workload::kFreeText: return "free-text";
+    case Workload::kMailText: return "mail-text";
+    case Workload::kCodeText: return "code-text";
+    case Workload::kScriptList: return "script-list";
+  }
+  return "?";
+}
+
+std::string generate_workload(Workload w, std::size_t bytes,
+                              std::uint64_t seed, vfs::Vfs& fs) {
+  switch (w) {
+    case Workload::kGutenberg: return gutenberg(bytes, seed);
+    case Workload::kBookList: return install_files(fs, bytes, seed, false);
+    case Workload::kTransitCsv: return transit_csv(bytes, seed);
+    case Workload::kChessGames: return chess_games(bytes, seed);
+    case Workload::kNameList: return name_list(bytes, seed);
+    case Workload::kTabRecords: return tab_records(bytes, seed);
+    case Workload::kFreeText: return free_text(bytes, seed);
+    case Workload::kMailText: return mail_text(bytes, seed);
+    case Workload::kCodeText: return code_text(bytes, seed);
+    case Workload::kScriptList: return install_files(fs, bytes, seed, true);
+  }
+  return {};
+}
+
+std::string install_spell_dictionary(vfs::Vfs& fs, std::uint64_t seed) {
+  (void)seed;
+  // Sorted lowercase dictionary covering most of the vocabulary; the
+  // uncovered words are the "spelling mistakes" the pipeline reports.
+  std::string dict;
+  std::vector<std::string> entries;
+  for (std::string_view w : kVocabulary) entries.emplace_back(w);
+  entries.emplace_back("cafe");
+  std::sort(entries.begin(), entries.end());
+  // Drop a couple of entries so comm -23 has output.
+  for (const std::string& e : entries) {
+    if (e == "kumquat" || e == "moonlight") continue;
+    dict += e;
+    dict.push_back('\n');
+  }
+  fs.write("dict.sorted", dict);
+  return "dict.sorted";
+}
+
+}  // namespace kq::bench

@@ -1,0 +1,42 @@
+// Synthetic workload generators standing in for the paper's benchmark
+// inputs (DESIGN.md §2): Project Gutenberg books, Athens bus telemetry,
+// chess game logs, and the themed Unix50 record files. Each generator is
+// deterministic in its seed and preserves the statistical features the
+// pipelines are sensitive to (duplicate ratios, field structure,
+// sortedness, capitalization, punctuation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vfs/vfs.h"
+
+namespace kq::bench {
+
+// Kinds of script input; each catalog entry names one.
+enum class Workload {
+  kGutenberg,     // English-like prose (poets, oneliners text scripts)
+  kBookList,      // list of book file names; the books live in the VFS
+  kTransitCsv,    // "YYYY-MM-DDTHH:MM:SS,line,vehicle" telemetry
+  kChessGames,    // move lists with pieces/captures ("4.x" Unix50 puzzles)
+  kNameList,      // "First Last" rows (Unix50 1.x)
+  kTabRecords,    // name<TAB>machine<TAB>version<TAB>year rows (Unix50 7.x)
+  kFreeText,      // mixed-case prose with quotes/parens (Unix50 8.x/9.x)
+  kMailText,      // mail headers with To:/From: lines (Unix50 10.x)
+  kCodeText,      // source-like lines with print statements (Unix50 5.x)
+  kScriptList,    // file names, some of which are shell scripts (oneliners)
+};
+
+const char* to_string(Workload w);
+
+// Generates approximately `bytes` of the given workload. Generators that
+// dereference files (kBookList, kScriptList) install their fixture files
+// into `fs` and return the file-name stream.
+std::string generate_workload(Workload w, std::size_t bytes,
+                              std::uint64_t seed, vfs::Vfs& fs);
+
+// Installs the sorted dictionary used by the `spell` script (comm -23 -
+// dict.sorted) and returns its VFS name.
+std::string install_spell_dictionary(vfs::Vfs& fs, std::uint64_t seed);
+
+}  // namespace kq::bench

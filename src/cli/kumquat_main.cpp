@@ -1,0 +1,171 @@
+// The `kumquat` command-line driver: the end-user interface to the
+// library (Figure 2's workflow as a tool).
+//
+//   kumquat synthesize '<command>'          synthesize and print combiners
+//   kumquat compile '<pipeline>'            print the parallel plan
+//   kumquat run [-k N] [--no-opt] '<pipeline>'
+//                                           execute data-parallel,
+//                                           stdin -> stdout
+//
+// Commands resolve to built-ins when known, otherwise to real binaries
+// through fork/exec — new commands work without any registry change,
+// which is the point of the paper.
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "compile/optimize.h"
+#include "compile/plan.h"
+#include "procexec/external_command.h"
+#include "text/shellwords.h"
+#include "unixcmd/registry.h"
+
+namespace {
+
+using namespace kq;
+
+cmd::CommandPtr resolve(const std::vector<std::string>& argv,
+                        std::string* how) {
+  std::string error;
+  if (cmd::CommandPtr c = cmd::make_command(argv, &error)) {
+    *how = "built-in";
+    return c;
+  }
+  if (!argv.empty() && procexec::program_exists(argv[0])) {
+    *how = "external binary";
+    return std::make_shared<procexec::ExternalCommand>(argv);
+  }
+  *how = error;
+  return nullptr;
+}
+
+int cmd_synthesize(const std::string& command_line) {
+  auto argv = text::shell_split(command_line);
+  if (!argv || argv->empty()) {
+    std::cerr << "kumquat: cannot parse command line\n";
+    return 2;
+  }
+  std::string how;
+  cmd::CommandPtr command = resolve(*argv, &how);
+  if (!command) {
+    std::cerr << "kumquat: " << how << "\n";
+    return 2;
+  }
+  std::cerr << "command:   " << command->display_name() << " (" << how
+            << ")\n";
+  synth::SynthesisResult result = synth::synthesize(*command, *argv);
+  if (!result.success) {
+    std::cerr << "no combiner: " << result.failure_reason << "\n";
+    return 1;
+  }
+  std::cerr << "space:     " << result.space.total() << " candidates ("
+            << result.space.rec << " RecOp + " << result.space.strct
+            << " StructOp + " << result.space.run << " RunOp)\n"
+            << "rounds:    " << result.rounds << ", "
+            << result.observation_count << " observations, "
+            << result.seconds << " s\n"
+            << "certify:   " << result.sufficiency.verdict << "\n"
+            << "plausible combiners:\n";
+  for (const auto& g : result.plausible)
+    std::cout << "  " << dsl::to_string(g) << "\n";
+  std::cout << "selected: " << result.combiner.to_string() << "\n";
+  return 0;
+}
+
+struct CompiledPipeline {
+  compile::Plan plan;
+  std::vector<exec::ExecStage> stages;
+};
+
+std::optional<CompiledPipeline> compile_line(const std::string& pipeline) {
+  std::string error;
+  auto parsed = compile::parse_pipeline(pipeline, &error);
+  if (!parsed) {
+    std::cerr << "kumquat: " << error << "\n";
+    return std::nullopt;
+  }
+  static synth::SynthesisCache cache;
+  CompiledPipeline out{compile::compile_pipeline(*parsed, cache), {}};
+  compile::eliminate_intermediate_combiners(out.plan);
+  out.stages = compile::lower_plan(out.plan);
+  return out;
+}
+
+int cmd_compile(const std::string& pipeline) {
+  auto compiled = compile_line(pipeline);
+  if (!compiled) return 2;
+  std::cout << "plan: " << compiled->plan.parallelized() << "/"
+            << compiled->plan.total() << " stages parallel, "
+            << compiled->plan.eliminated() << " combiner(s) eliminated\n";
+  for (const auto& stage : compiled->plan.stages) {
+    std::cout << "  " << stage.parsed.display << "\n    combiner: "
+              << (stage.synthesis && stage.synthesis->success
+                      ? stage.synthesis->combiner.to_string()
+                      : "none")
+              << "\n    mode:     "
+              << (!stage.parallel
+                      ? (stage.sequential_rerun
+                             ? "sequential (rerun does not reduce)"
+                             : "sequential")
+                      : (stage.eliminate ? "parallel (combiner eliminated)"
+                                         : "parallel"))
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_run(const std::string& pipeline, int k, bool optimize) {
+  auto compiled = compile_line(pipeline);
+  if (!compiled) return 2;
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  std::string input = buffer.str();
+  exec::ThreadPool pool(k);
+  exec::RunResult result =
+      exec::run_pipeline(compiled->stages, input, pool, {k, optimize});
+  std::cout << result.output;
+  std::cerr << "kumquat: " << result.seconds << " s at k=" << k << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage:\n"
+               "  kumquat synthesize '<command>'\n"
+               "  kumquat compile '<pipeline>'\n"
+               "  kumquat run [-k N] [--no-opt] '<pipeline>'  (stdin -> "
+               "stdout)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  std::string verb = argv[1];
+  if (verb == "synthesize") return cmd_synthesize(argv[2]);
+  if (verb == "compile") return cmd_compile(argv[2]);
+  if (verb == "run") {
+    int k = 4;
+    bool optimize = true;
+    std::string pipeline;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
+        k = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--no-opt") == 0) {
+        optimize = false;
+      } else {
+        pipeline = argv[i];
+      }
+    }
+    if (pipeline.empty() || k < 1) {
+      usage();
+      return 2;
+    }
+    return cmd_run(pipeline, k, optimize);
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,22 @@
+#include "compile/optimize.h"
+
+namespace kq::compile {
+
+int eliminate_intermediate_combiners(Plan& plan) {
+  int eliminated = 0;
+  for (std::size_t i = 0; i + 1 < plan.stages.size(); ++i) {
+    PlannedStage& stage = plan.stages[i];
+    const PlannedStage& next = plan.stages[i + 1];
+    if (!stage.parallel || !next.parallel) continue;
+    if (!stage.synthesis || !stage.synthesis->success) continue;
+    // Theorem 5 preconditions: the combiner is concat and f1's outputs are
+    // streams (newline-terminated). `tr -d '\n'` fails the second check.
+    if (!stage.synthesis->combiner.concat_equivalent()) continue;
+    if (!stage.synthesis->outputs_newline_terminated) continue;
+    stage.eliminate = true;
+    ++eliminated;
+  }
+  return eliminated;
+}
+
+}  // namespace kq::compile

@@ -1,0 +1,14 @@
+// Intermediate-combiner elimination (§3.5, Theorem 5): when a parallel
+// stage's combiner is concatenation and its outputs are newline-terminated
+// streams, the combiner can be dropped and the output substreams fed
+// directly into the next parallel stage's input substreams.
+#pragma once
+
+#include "compile/plan.h"
+
+namespace kq::compile {
+
+// Marks eliminable stages in-place; returns the number eliminated.
+int eliminate_intermediate_combiners(Plan& plan);
+
+}  // namespace kq::compile

@@ -1,0 +1,26 @@
+// Pipeline parsing: split a shell pipeline script into stages (Figure 2,
+// step 1). A leading `cat FILE` stage is recorded but excluded from the
+// stage list, matching the paper's stage accounting (footnote 3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kq::compile {
+
+struct ParsedStage {
+  std::vector<std::string> argv;
+  std::string display;
+};
+
+struct ParsedPipeline {
+  std::vector<ParsedStage> stages;
+  bool had_leading_cat = false;
+  std::string leading_cat_operand;  // e.g. "$IN"
+};
+
+std::optional<ParsedPipeline> parse_pipeline(std::string_view script,
+                                             std::string* error = nullptr);
+
+}  // namespace kq::compile

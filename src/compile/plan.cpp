@@ -1,0 +1,87 @@
+#include "compile/plan.h"
+
+#include "unixcmd/registry.h"
+
+namespace kq::compile {
+
+int Plan::parallelized() const {
+  int n = 0;
+  for (const PlannedStage& s : stages)
+    if (s.parallel) ++n;
+  return n;
+}
+
+int Plan::eliminated() const {
+  int n = 0;
+  for (const PlannedStage& s : stages)
+    if (s.eliminate) ++n;
+  return n;
+}
+
+Plan compile_pipeline(const ParsedPipeline& parsed,
+                      synth::SynthesisCache& cache, const PlanOptions& options,
+                      const vfs::Vfs* fs) {
+  Plan plan;
+  for (const ParsedStage& parsed_stage : parsed.stages) {
+    PlannedStage stage;
+    stage.parsed = parsed_stage;
+    std::string error;
+    stage.command = cmd::make_command(parsed_stage.argv, &error, fs);
+    if (!stage.command) {
+      // Unknown command: keep the stage but it can only run serially.
+      plan.stages.push_back(std::move(stage));
+      continue;
+    }
+    const synth::SynthesisResult& synth_result = cache.get_or_synthesize(
+        *stage.command, parsed_stage.argv, options.synthesis, fs);
+    stage.synthesis = &synth_result;
+    if (synth_result.success) {
+      bool rerun_only = synth_result.combiner.rerun_only();
+      bool reduces = synth_result.reduction_ratio <=
+                     options.rerun_reduction_threshold;
+      if (rerun_only && !reduces) {
+        stage.sequential_rerun = true;
+        stage.parallel = false;
+      } else {
+        stage.parallel = true;
+      }
+    }
+    plan.stages.push_back(std::move(stage));
+  }
+  return plan;
+}
+
+std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
+  std::vector<exec::ExecStage> stages;
+  stages.reserve(plan.stages.size());
+  for (const PlannedStage& p : plan.stages) {
+    exec::ExecStage stage;
+    if (p.command) {
+      stage.command = p.command;
+    } else {
+      // Unknown command: a pass-through stage would silently corrupt
+      // results, so surface the failure loudly at run time instead.
+      std::string name = p.parsed.display;
+      stage.command = cmd::make_lambda_command(
+          name, [name](std::string_view) -> std::string {
+            return "kumquat: cannot execute unknown stage: " + name + "\n";
+          });
+    }
+    stage.parallel = p.parallel;
+    stage.eliminate_combiner = p.eliminate;
+    if (p.synthesis && p.synthesis->success) {
+      stage.combiner_name = p.synthesis->combiner.to_string();
+      synth::CompositeCombiner combiner = p.synthesis->combiner;
+      cmd::CommandPtr command = p.command;
+      stage.combine =
+          [combiner, command](const std::vector<std::string>& parts) {
+            dsl::EvalContext ctx{command.get()};
+            return combiner.apply_k(parts, ctx);
+          };
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+}  // namespace kq::compile

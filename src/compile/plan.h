@@ -1,0 +1,52 @@
+// Plan construction (Figure 2, steps 2-3): synthesize a combiner for every
+// stage, decide which stages run data-parallel, and lower the plan to the
+// runtime's ExecStage form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/pipeline.h"
+#include "exec/runner.h"
+#include "synth/synthesize.h"
+
+namespace kq::compile {
+
+struct PlanOptions {
+  synth::SynthesisConfig synthesis;
+  // A stage whose only combiners are rerun is parallelized only when the
+  // command shrinks its input by at least this factor; otherwise the rerun
+  // dominates and the stage stays sequential (§2's `tr -cs` decision).
+  double rerun_reduction_threshold = 0.5;
+};
+
+struct PlannedStage {
+  ParsedStage parsed;
+  cmd::CommandPtr command;
+  // Owned by the SynthesisCache passed to compile_pipeline.
+  const synth::SynthesisResult* synthesis = nullptr;
+  bool parallel = false;
+  bool sequential_rerun = false;  // combiner exists but stage kept serial
+  bool eliminate = false;         // set by the optimizer (Theorem 5)
+};
+
+struct Plan {
+  std::vector<PlannedStage> stages;
+
+  int total() const { return static_cast<int>(stages.size()); }
+  int parallelized() const;
+  int eliminated() const;
+};
+
+// Builds the plan, synthesizing (or reusing cached) combiners per stage.
+// Stages whose commands are unknown or whose synthesis fails run serially.
+Plan compile_pipeline(const ParsedPipeline& parsed,
+                      synth::SynthesisCache& cache,
+                      const PlanOptions& options = {},
+                      const vfs::Vfs* fs = nullptr);
+
+// Lowers a plan to runtime stages, binding each stage's composite combiner.
+std::vector<exec::ExecStage> lower_plan(const Plan& plan);
+
+}  // namespace kq::compile

@@ -1,0 +1,159 @@
+#include "dsl/ast.h"
+
+namespace kq::dsl {
+
+OpClass op_class(Op op) noexcept {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kConcat:
+    case Op::kFirst:
+    case Op::kSecond:
+    case Op::kFront:
+    case Op::kBack:
+    case Op::kFuse:
+      return OpClass::kRec;
+    case Op::kStitch:
+    case Op::kStitch2:
+    case Op::kOffset:
+      return OpClass::kStruct;
+    case Op::kRerun:
+    case Op::kMerge:
+      return OpClass::kRun;
+  }
+  return OpClass::kRun;
+}
+
+NodeRef make_leaf(Op op) { return std::make_shared<Node>(Node{op, 0, {}, {}}); }
+
+NodeRef make_unary(Op op, char delim, NodeRef child) {
+  return std::make_shared<Node>(Node{op, delim, std::move(child), {}});
+}
+
+NodeRef make_stitch(NodeRef child) {
+  return std::make_shared<Node>(Node{Op::kStitch, 0, std::move(child), {}});
+}
+
+NodeRef make_stitch2(char delim, NodeRef b1, NodeRef b2) {
+  return std::make_shared<Node>(
+      Node{Op::kStitch2, delim, std::move(b1), std::move(b2)});
+}
+
+int node_ops(const Node& n) noexcept {
+  int ops = 1;
+  if (n.child1) ops += node_ops(*n.child1);
+  if (n.child2) ops += node_ops(*n.child2);
+  return ops;
+}
+
+int size(const Combiner& g) noexcept { return 2 + node_ops(*g.node); }
+
+namespace {
+
+std::string delim_to_string(char d) {
+  switch (d) {
+    case '\n': return "'\\n'";
+    case '\t': return "'\\t'";
+    case ' ': return "' '";
+    default: return std::string("'") + d + "'";
+  }
+}
+
+}  // namespace
+
+std::string node_to_string(const Node& n) {
+  switch (n.op) {
+    case Op::kAdd: return "add";
+    case Op::kConcat: return "concat";
+    case Op::kFirst: return "first";
+    case Op::kSecond: return "second";
+    case Op::kFront:
+      return "(front " + delim_to_string(n.delim) + " " +
+             node_to_string(*n.child1) + ")";
+    case Op::kBack:
+      return "(back " + delim_to_string(n.delim) + " " +
+             node_to_string(*n.child1) + ")";
+    case Op::kFuse:
+      return "(fuse " + delim_to_string(n.delim) + " " +
+             node_to_string(*n.child1) + ")";
+    case Op::kStitch:
+      return "(stitch " + node_to_string(*n.child1) + ")";
+    case Op::kStitch2:
+      return "(stitch2 " + delim_to_string(n.delim) + " " +
+             node_to_string(*n.child1) + " " + node_to_string(*n.child2) +
+             ")";
+    case Op::kOffset:
+      return "(offset " + delim_to_string(n.delim) + " " +
+             node_to_string(*n.child1) + ")";
+    case Op::kRerun: return "rerun";
+    case Op::kMerge: return "merge";
+  }
+  return "?";
+}
+
+std::string to_string(const Combiner& g) {
+  std::string head = node_to_string(*g.node);
+  if (g.node->op == Op::kMerge && !g.merge_flags.empty())
+    head = "merge('" + g.merge_flags + "')";
+  return "(" + head + (g.swapped ? " b a)" : " a b)");
+}
+
+Combiner combiner_add() { return {make_leaf(Op::kAdd), false, nullptr, ""}; }
+Combiner combiner_concat() {
+  return {make_leaf(Op::kConcat), false, nullptr, ""};
+}
+Combiner combiner_first() {
+  return {make_leaf(Op::kFirst), false, nullptr, ""};
+}
+Combiner combiner_second() {
+  return {make_leaf(Op::kSecond), false, nullptr, ""};
+}
+Combiner combiner_back_add(char d) {
+  return {make_unary(Op::kBack, d, make_leaf(Op::kAdd)), false, nullptr, ""};
+}
+Combiner combiner_fuse_add(char d) {
+  return {make_unary(Op::kFuse, d, make_leaf(Op::kAdd)), false, nullptr, ""};
+}
+Combiner combiner_front_concat(char d) {
+  return {make_unary(Op::kFront, d, make_leaf(Op::kConcat)), false, nullptr,
+          ""};
+}
+Combiner combiner_stitch_first() {
+  return {make_stitch(make_leaf(Op::kFirst)), false, nullptr, ""};
+}
+Combiner combiner_stitch2_add_first(char d) {
+  return {make_stitch2(d, make_leaf(Op::kAdd), make_leaf(Op::kFirst)), false,
+          nullptr, ""};
+}
+Combiner combiner_offset_add(char d) {
+  return {make_unary(Op::kOffset, d, make_leaf(Op::kAdd)), false, nullptr,
+          ""};
+}
+Combiner combiner_rerun() {
+  return {make_leaf(Op::kRerun), false, nullptr, ""};
+}
+Combiner combiner_merge(const std::string& flags) {
+  Combiner g{make_leaf(Op::kMerge), false, nullptr, flags};
+  std::vector<std::string> flag_words;
+  if (!flags.empty()) {
+    std::string cur;
+    for (char c : flags) {
+      if (c == ' ') {
+        if (!cur.empty()) flag_words.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) flag_words.push_back(cur);
+  }
+  auto spec = cmd::SortSpec::parse(flag_words);
+  g.merge_spec = spec ? std::make_shared<const cmd::SortSpec>(*spec) : nullptr;
+  return g;
+}
+
+Combiner swapped(Combiner g) {
+  g.swapped = !g.swapped;
+  return g;
+}
+
+}  // namespace kq::dsl

@@ -1,0 +1,103 @@
+// The combiner DSL of Figure 3:
+//
+//   g ∈ Combiner_f := b | s | r
+//   b ∈ RecOp      := add | concat | first | second
+//                   | front d b | back d b | fuse d b
+//   s ∈ StructOp   := stitch b | stitch2 d b1 b2 | offset d b
+//   r ∈ RunOp_f    := rerun_f | merge <flags>
+//   d ∈ Delim      := '\n' | '\t' | ' ' | ','
+//
+// A candidate combiner is a DSL tree plus an argument order: the searcher
+// considers both g(y1,y2) and g(y2,y1) (visible in Table 10, where e.g.
+// `(back '\n' add) b a` appears alongside `(back '\n' add) a b`).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "unixcmd/sort_cmd.h"
+
+namespace kq::dsl {
+
+enum class Op {
+  kAdd,
+  kConcat,
+  kFirst,
+  kSecond,
+  kFront,
+  kBack,
+  kFuse,
+  kStitch,
+  kStitch2,
+  kOffset,
+  kRerun,
+  kMerge,
+};
+
+enum class OpClass { kRec, kStruct, kRun };
+
+// Returns the grammar class of an operator (RecOp / StructOp / RunOp_f).
+OpClass op_class(Op op) noexcept;
+
+// The default delimiter alphabet of the DSL (Figure 3).
+inline constexpr char kDelims[] = {'\n', '\t', ' ', ','};
+
+// One node of a combiner tree. Nodes are immutable and shared: the
+// enumerator builds ~10^5 candidates that reuse subtrees.
+struct Node {
+  Op op;
+  char delim = 0;                  // front/back/fuse/stitch2/offset
+  std::shared_ptr<const Node> child1;  // RecOp child (b / b1)
+  std::shared_ptr<const Node> child2;  // stitch2's b2
+};
+
+using NodeRef = std::shared_ptr<const Node>;
+
+NodeRef make_leaf(Op op);
+NodeRef make_unary(Op op, char delim, NodeRef child);
+NodeRef make_stitch(NodeRef child);
+NodeRef make_stitch2(char delim, NodeRef b1, NodeRef b2);
+
+// A candidate combiner: tree + argument order + (for merge) the
+// pre-parsed sort comparator.
+struct Combiner {
+  NodeRef node;
+  bool swapped = false;  // evaluate as g(y2, y1)
+  std::shared_ptr<const cmd::SortSpec> merge_spec;  // kMerge only
+  std::string merge_flags;                          // display form
+
+  OpClass cls() const { return op_class(node->op); }
+};
+
+// Combiner size |g| of Definition 3.6: two plus the number of operator
+// productions in the tree (delimiters are free). |add| == 3,
+// |front d (back d (fuse d add))| == 6, |stitch2 d add first| == 5.
+int size(const Combiner& g) noexcept;
+int node_ops(const Node& n) noexcept;
+
+// Prints in the Table 10 style: "(concat a b)", "((back '\n' add) b a)",
+// "(merge('-rn') a b)". Stable across runs; used as the dedup key.
+std::string to_string(const Combiner& g);
+std::string node_to_string(const Node& n);
+
+// Convenience constructors for the representative combiners of
+// Definition B.11 (used heavily in tests).
+Combiner combiner_add();
+Combiner combiner_concat();
+Combiner combiner_first();
+Combiner combiner_second();
+Combiner combiner_back_add(char d);
+Combiner combiner_fuse_add(char d);
+Combiner combiner_front_concat(char d);
+Combiner combiner_stitch_first();
+Combiner combiner_stitch2_add_first(char d);
+Combiner combiner_offset_add(char d);
+Combiner combiner_rerun();
+Combiner combiner_merge(const std::string& flags);
+
+// Returns a copy of `g` with the argument order flipped.
+Combiner swapped(Combiner g);
+
+}  // namespace kq::dsl

@@ -1,0 +1,101 @@
+#include "dsl/enumerate.h"
+
+namespace kq::dsl {
+
+CandidateSpace enumerate_candidates(const SpaceSpec& spec) {
+  const int P = spec.max_ops;
+  // rec_by_ops[p]: all RecOp trees with exactly p operator productions.
+  std::vector<std::vector<NodeRef>> rec_by_ops(
+      static_cast<std::size_t>(P) + 1);
+  if (P >= 1) {
+    rec_by_ops[1] = {make_leaf(Op::kAdd), make_leaf(Op::kConcat),
+                     make_leaf(Op::kFirst), make_leaf(Op::kSecond)};
+  }
+  for (int p = 2; p <= P; ++p) {
+    auto& out = rec_by_ops[static_cast<std::size_t>(p)];
+    for (Op op : {Op::kFront, Op::kBack, Op::kFuse}) {
+      for (char d : spec.delims) {
+        for (const NodeRef& child :
+             rec_by_ops[static_cast<std::size_t>(p - 1)]) {
+          out.push_back(make_unary(op, d, child));
+        }
+      }
+    }
+  }
+
+  std::vector<NodeRef> rec_trees;
+  for (int p = 1; p <= P; ++p)
+    for (const NodeRef& t : rec_by_ops[static_cast<std::size_t>(p)])
+      rec_trees.push_back(t);
+
+  std::vector<NodeRef> struct_trees;
+  // stitch b: 1 + ops(b) <= P.
+  for (int p = 1; p <= P - 1; ++p)
+    for (const NodeRef& b : rec_by_ops[static_cast<std::size_t>(p)])
+      struct_trees.push_back(make_stitch(b));
+  // offset d b.
+  for (char d : spec.delims)
+    for (int p = 1; p <= P - 1; ++p)
+      for (const NodeRef& b : rec_by_ops[static_cast<std::size_t>(p)])
+        struct_trees.push_back(make_unary(Op::kOffset, d, b));
+  // stitch2 d b1 b2: 1 + ops(b1) + ops(b2) <= P.
+  for (char d : spec.delims) {
+    for (int p1 = 1; p1 <= P - 2; ++p1) {
+      for (const NodeRef& b1 : rec_by_ops[static_cast<std::size_t>(p1)]) {
+        for (int p2 = 1; p2 <= P - 1 - p1; ++p2) {
+          for (const NodeRef& b2 :
+               rec_by_ops[static_cast<std::size_t>(p2)]) {
+            struct_trees.push_back(make_stitch2(d, b1, b2));
+          }
+        }
+      }
+    }
+  }
+
+  CandidateSpace space;
+  auto add_both_orders = [&space](Combiner g) {
+    space.candidates.push_back(g);
+    space.candidates.push_back(swapped(std::move(g)));
+  };
+  for (const NodeRef& t : rec_trees)
+    add_both_orders(Combiner{t, false, nullptr, ""});
+  for (const NodeRef& t : struct_trees)
+    add_both_orders(Combiner{t, false, nullptr, ""});
+  space.rec_count = rec_trees.size() * 2;
+  space.struct_count = struct_trees.size() * 2;
+
+  add_both_orders(combiner_rerun());
+  add_both_orders(combiner_merge(spec.merge_flags));
+  space.run_count = 4;
+  return space;
+}
+
+SpaceCounts count_candidates(std::size_t delim_count, int max_ops) {
+  const std::size_t D = delim_count;
+  const int P = max_ops;
+  // rec(p) = 4 * (3D)^(p-1); Rec(k) = sum_{p<=k} rec(p).
+  std::vector<std::size_t> rec(static_cast<std::size_t>(P) + 1, 0);
+  std::vector<std::size_t> rec_cum(static_cast<std::size_t>(P) + 1, 0);
+  for (int p = 1; p <= P; ++p) {
+    rec[static_cast<std::size_t>(p)] =
+        p == 1 ? 4 : rec[static_cast<std::size_t>(p - 1)] * 3 * D;
+    rec_cum[static_cast<std::size_t>(p)] =
+        rec_cum[static_cast<std::size_t>(p - 1)] +
+        rec[static_cast<std::size_t>(p)];
+  }
+  std::size_t rec_trees = rec_cum[static_cast<std::size_t>(P)];
+  std::size_t stitch = P >= 2 ? rec_cum[static_cast<std::size_t>(P - 1)] : 0;
+  std::size_t offset = D * stitch;
+  std::size_t stitch2 = 0;
+  for (int p1 = 1; p1 <= P - 2; ++p1)
+    stitch2 += rec[static_cast<std::size_t>(p1)] *
+               rec_cum[static_cast<std::size_t>(P - 1 - p1)];
+  stitch2 *= D;
+  SpaceCounts counts;
+  counts.rec = 2 * rec_trees;
+  counts.strct = 2 * (stitch + offset + stitch2);
+  counts.run = 4;
+  return counts;
+}
+
+}  // namespace kq::dsl

@@ -1,0 +1,225 @@
+#include "dsl/eval.h"
+
+#include "dsl/domain.h"
+#include "text/numbers.h"
+#include "text/padding.h"
+#include "text/streams.h"
+#include "text/strings.h"
+
+namespace kq::dsl {
+namespace {
+
+std::optional<std::string> eval_rec(const Node& b, std::string_view y1,
+                                    std::string_view y2);
+
+// fuse d b: apply b piecewise to the d-separated elements of both operands.
+// Requires the same element count on both sides (Lemma B.3) with non-empty
+// first/last elements.
+std::optional<std::string> eval_fuse(const Node& b, std::string_view y1,
+                                     std::string_view y2) {
+  auto parts1 = text::split(y1, b.delim);
+  auto parts2 = text::split(y2, b.delim);
+  if (parts1.size() < 2 || parts1.size() != parts2.size()) return std::nullopt;
+  if (parts1.front().empty() || parts1.back().empty()) return std::nullopt;
+  if (parts2.front().empty() || parts2.back().empty()) return std::nullopt;
+  std::string out;
+  for (std::size_t i = 0; i < parts1.size(); ++i) {
+    auto piece = eval_rec(*b.child1, parts1[i], parts2[i]);
+    if (!piece) return std::nullopt;
+    if (i != 0) out.push_back(b.delim);
+    out += *piece;
+  }
+  return out;
+}
+
+std::optional<std::string> eval_rec(const Node& b, std::string_view y1,
+                                    std::string_view y2) {
+  switch (b.op) {
+    case Op::kAdd:
+      return text::add_digit_strings(y1, y2);
+    case Op::kConcat: {
+      std::string out;
+      out.reserve(y1.size() + y2.size());
+      out.append(y1);
+      out.append(y2);
+      return out;
+    }
+    case Op::kFirst:
+      return std::string(y1);
+    case Op::kSecond:
+      return std::string(y2);
+    case Op::kFront: {
+      if (y1.empty() || y1.front() != b.delim) return std::nullopt;
+      if (y2.empty() || y2.front() != b.delim) return std::nullopt;
+      auto v = eval_rec(*b.child1, y1.substr(1), y2.substr(1));
+      if (!v) return std::nullopt;
+      return std::string(1, b.delim) + *v;
+    }
+    case Op::kBack: {
+      if (y1.empty() || y1.back() != b.delim) return std::nullopt;
+      if (y2.empty() || y2.back() != b.delim) return std::nullopt;
+      auto v = eval_rec(*b.child1, y1.substr(0, y1.size() - 1),
+                        y2.substr(0, y2.size() - 1));
+      if (!v) return std::nullopt;
+      return *v + std::string(1, b.delim);
+    }
+    case Op::kFuse:
+      return eval_fuse(b, y1, y2);
+    default:
+      return std::nullopt;
+  }
+}
+
+// stitch b: compare y1's last line with y2's first line; on equality, join
+// them through b. Reassembly note (DESIGN.md §6): we emit
+// head1 ++ v ++ '\n' ++ tail2, which agrees with the paper's
+// y1' ++ '\n' ++ v ++ '\n' ++ y2' on multi-line operands and handles
+// single-line operands without a spurious empty line.
+//
+// Deviation from Figure 6: the paper's first stitch rule concatenates
+// whenever an operand is exactly "\n". An empty line is an ordinary line
+// value, and treating it specially makes stitch *incorrect* for `uniq`
+// when the split boundary carries empty lines on both sides (uniq merges
+// them; the special rule would not). We therefore treat "\n" uniformly,
+// which preserves the paper's synthesis results and fixes that corner.
+std::optional<std::string> eval_stitch(const Node& s, std::string_view y1,
+                                       std::string_view y2) {
+  for (std::string_view y : {y1, y2}) {
+    if (!text::is_stream(y)) return std::nullopt;
+    for (std::string_view l : text::lines(y))
+      if (!legal_rec(*s.child1, l)) return std::nullopt;
+  }
+  auto last = text::split_last_line(y1);
+  auto first = text::split_first_line(y2);
+  if (!last.ok || !first.ok) return std::nullopt;
+  if (last.line != first.line) {
+    std::string out(y1);
+    out.append(y2);
+    return out;
+  }
+  auto v = eval_rec(*s.child1, last.line, first.line);
+  if (!v) return std::nullopt;
+  std::string out(last.head);
+  out += *v;
+  out.push_back('\n');
+  out.append(first.tail);
+  return out;
+}
+
+// stitch2 d b1 b2: table-shaped stitch. Lines look like
+// `pad head d tail` (the uniq -c shape); on equal tails the heads are
+// combined with b1 and re-padded to the first operand's column width.
+std::optional<std::string> eval_stitch2(const Node& s, std::string_view y1,
+                                        std::string_view y2) {
+  for (std::string_view y : {y1, y2}) {
+    if (y == "\n") continue;
+    if (!text::is_stream(y)) return std::nullopt;
+    for (std::string_view l : text::lines(y)) {
+      TableLine t = parse_table_line(l, s.delim, /*require_padding=*/true);
+      if (!t.ok || !legal_rec(*s.child1, t.head) ||
+          !legal_rec(*s.child2, t.tail))
+        return std::nullopt;
+    }
+  }
+  if (y1 == "\n" || y2 == "\n") {
+    std::string out(y1);
+    out.append(y2);
+    return out;
+  }
+  auto last = text::split_last_line(y1);
+  auto first = text::split_first_line(y2);
+  if (!last.ok || !first.ok) return std::nullopt;
+  TableLine t1 = parse_table_line(last.line, s.delim, true);
+  TableLine t2 = parse_table_line(first.line, s.delim, true);
+  if (!t1.ok || !t2.ok) return std::nullopt;
+  if (t1.tail != t2.tail) {
+    std::string out(y1);
+    out.append(y2);
+    return out;
+  }
+  auto head = eval_rec(*s.child1, t1.head, t2.head);
+  if (!head) return std::nullopt;
+  auto tail = eval_rec(*s.child2, t1.tail, t2.tail);
+  if (!tail) return std::nullopt;
+  std::string combined =
+      text::pad_to_width(*head, *tail, s.delim, t1.pad + t1.head.size());
+  std::string out(last.head);
+  out += combined;
+  out.push_back('\n');
+  out.append(first.tail);
+  return out;
+}
+
+// offset d b: use the first field of y1's last non-empty line to adjust the
+// first field of every line of y2 via b (the `xargs -L1 wc -l` line-number
+// adjustment shape).
+std::optional<std::string> eval_offset(const Node& s, std::string_view y1,
+                                       std::string_view y2) {
+  for (std::string_view y : {y1, y2}) {
+    if (y == "\n") continue;
+    if (!text::is_stream(y)) return std::nullopt;
+    for (std::string_view l : text::lines(y)) {
+      if (l.empty()) continue;
+      TableLine t = parse_table_line(l, s.delim, /*require_padding=*/false);
+      if (!t.ok || !legal_rec(*s.child1, t.head)) return std::nullopt;
+    }
+  }
+  auto last = text::split_last_nonempty_line(y1);
+  if (!last.ok) return std::nullopt;
+  TableLine t1 = parse_table_line(last.line, s.delim, false);
+  if (!t1.ok) return std::nullopt;
+  std::string out(y1);
+  for (std::string_view l : text::lines(y2)) {
+    if (l.empty()) {
+      out.push_back('\n');
+      continue;
+    }
+    TableLine t2 = parse_table_line(l, s.delim, false);
+    if (!t2.ok) return std::nullopt;
+    auto head = eval_rec(*s.child1, t1.head, t2.head);
+    if (!head) return std::nullopt;
+    out += text::pad_to_width(*head, t2.tail, s.delim,
+                              t2.pad + t2.head.size());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> eval(const Combiner& g, std::string_view y1,
+                                std::string_view y2, const EvalContext& ctx) {
+  if (g.swapped) std::swap(y1, y2);
+  const Node& n = *g.node;
+  switch (n.op) {
+    case Op::kStitch:
+      return eval_stitch(n, y1, y2);
+    case Op::kStitch2:
+      return eval_stitch2(n, y1, y2);
+    case Op::kOffset:
+      return eval_offset(n, y1, y2);
+    case Op::kRerun: {
+      if (!ctx.command) return std::nullopt;
+      std::string joined;
+      joined.reserve(y1.size() + y2.size());
+      joined.append(y1);
+      joined.append(y2);
+      cmd::Result r = ctx.command->execute(joined);
+      if (!r.ok()) return std::nullopt;
+      return std::move(r.out);
+    }
+    case Op::kMerge: {
+      if (!g.merge_spec) return std::nullopt;
+      for (std::string_view y : {y1, y2}) {
+        if (y.empty()) continue;
+        if (!text::is_stream(y)) return std::nullopt;
+        if (!g.merge_spec->is_sorted_stream(y)) return std::nullopt;
+      }
+      return g.merge_spec->merge_streams({y1, y2});
+    }
+    default:
+      return eval_rec(n, y1, y2);
+  }
+}
+
+}  // namespace kq::dsl

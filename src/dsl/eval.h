@@ -1,0 +1,28 @@
+// Big-step evaluation of combiners (Figure 6 / Appendix A). `eval` returns
+// nullopt when the operands fall outside the combiner's legal domain or no
+// semantic rule applies; the synthesizer eliminates a candidate on any
+// observation for which eval does not produce exactly the serial output
+// (Definition 3.9).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dsl/ast.h"
+#include "unixcmd/command.h"
+
+namespace kq::dsl {
+
+struct EvalContext {
+  // The black-box command, required by rerun_f. May be null for
+  // rerun-free combiners.
+  const cmd::Command* command = nullptr;
+};
+
+// Evaluates g(y1, y2) (argument order already encoded in g.swapped).
+std::optional<std::string> eval(const Combiner& g, std::string_view y1,
+                                std::string_view y2,
+                                const EvalContext& ctx = {});
+
+}  // namespace kq::dsl

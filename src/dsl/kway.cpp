@@ -1,0 +1,62 @@
+#include "dsl/kway.h"
+
+#include "text/streams.h"
+
+namespace kq::dsl {
+
+std::optional<std::string> combine_k(const Combiner& g,
+                                     const std::vector<std::string>& parts,
+                                     const EvalContext& ctx) {
+  if (parts.empty()) return std::string();
+  if (parts.size() == 1) return parts.front();
+
+  switch (g.node->op) {
+    case Op::kConcat: {
+      // `cat $*` (respecting a swapped argument order by reversing).
+      std::string out;
+      std::size_t total = 0;
+      for (const std::string& p : parts) total += p.size();
+      out.reserve(total);
+      if (g.swapped) {
+        for (auto it = parts.rbegin(); it != parts.rend(); ++it) out += *it;
+      } else {
+        for (const std::string& p : parts) out += p;
+      }
+      return out;
+    }
+    case Op::kMerge: {
+      if (!g.merge_spec) return std::nullopt;
+      std::vector<std::string_view> views;
+      views.reserve(parts.size());
+      for (const std::string& p : parts) {
+        if (!p.empty() &&
+            (!text::is_stream(p) || !g.merge_spec->is_sorted_stream(p)))
+          return std::nullopt;
+        views.push_back(p);
+      }
+      return g.merge_spec->merge_streams(views);
+    }
+    case Op::kRerun: {
+      if (!ctx.command) return std::nullopt;
+      std::string joined;
+      std::size_t total = 0;
+      for (const std::string& p : parts) total += p.size();
+      joined.reserve(total);
+      for (const std::string& p : parts) joined += p;
+      cmd::Result r = ctx.command->execute(joined);
+      if (!r.ok()) return std::nullopt;
+      return std::move(r.out);
+    }
+    default: {
+      std::string acc = parts.front();
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        auto next = eval(g, acc, parts[i], ctx);
+        if (!next) return std::nullopt;
+        acc = std::move(*next);
+      }
+      return acc;
+    }
+  }
+}
+
+}  // namespace kq::dsl

@@ -1,0 +1,19 @@
+// k-way generalization of binary combiners (§3.5 "Combining Multiple
+// Substreams"): merge becomes a k-way `sort -m`, concat becomes `cat $*`,
+// rerun concatenates all substreams and reruns the command once, and every
+// other combiner is applied pairwise as a left fold.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/eval.h"
+
+namespace kq::dsl {
+
+std::optional<std::string> combine_k(const Combiner& g,
+                                     const std::vector<std::string>& parts,
+                                     const EvalContext& ctx = {});
+
+}  // namespace kq::dsl

@@ -1,0 +1,30 @@
+#include "exec/parallel.h"
+
+namespace kq::exec {
+
+std::vector<std::string> map_chunks(const cmd::Command& command,
+                                    const std::vector<std::string_view>& chunks,
+                                    ThreadPool& pool) {
+  std::vector<const cmd::Command*> chain = {&command};
+  return map_chunks_chain(chain, chunks, pool);
+}
+
+std::vector<std::string> map_chunks_chain(
+    const std::vector<const cmd::Command*>& chain,
+    const std::vector<std::string_view>& chunks, ThreadPool& pool) {
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(chunks.size());
+  for (std::string_view chunk : chunks) {
+    futures.push_back(pool.submit([&chain, chunk] {
+      std::string current(chunk);
+      for (const cmd::Command* c : chain) current = c->run(current);
+      return current;
+    }));
+  }
+  std::vector<std::string> outputs;
+  outputs.reserve(futures.size());
+  for (auto& f : futures) outputs.push_back(f.get());
+  return outputs;
+}
+
+}  // namespace kq::exec

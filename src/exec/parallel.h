@@ -1,0 +1,25 @@
+// Data-parallel primitives: map a command (or a fused chain of commands)
+// over input chunks on the thread pool.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "unixcmd/command.h"
+
+namespace kq::exec {
+
+// Runs `command` on every chunk concurrently; returns outputs in order.
+std::vector<std::string> map_chunks(const cmd::Command& command,
+                                    const std::vector<std::string_view>& chunks,
+                                    ThreadPool& pool);
+
+// Runs a chain of commands (stage fusion after combiner elimination) on
+// every chunk: chunk -> cmd[0] -> cmd[1] -> ... -> output.
+std::vector<std::string> map_chunks_chain(
+    const std::vector<const cmd::Command*>& chain,
+    const std::vector<std::string_view>& chunks, ThreadPool& pool);
+
+}  // namespace kq::exec

@@ -1,0 +1,63 @@
+// The staged pipeline runner. Mirrors the paper's evaluation infrastructure
+// (§4): every stage executes to completion before the next starts, each
+// parallelizable stage fans out to `parallelism` instances of the original
+// command, and (in optimized mode) stages whose combiner was eliminated
+// stream their output substreams directly into the next parallel stage.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/splitter.h"
+#include "exec/thread_pool.h"
+#include "unixcmd/command.h"
+
+namespace kq::exec {
+
+// A k-way combiner as seen by the runtime (bound by the compiler from the
+// synthesized CompositeCombiner; the runtime itself is combiner-agnostic).
+using KWayCombine =
+    std::function<std::optional<std::string>(const std::vector<std::string>&)>;
+
+struct ExecStage {
+  cmd::CommandPtr command;
+  KWayCombine combine;             // null for sequential stages
+  bool parallel = false;           // data-parallel execution planned
+  bool eliminate_combiner = false; // Theorem 5 optimization applies
+  std::string combiner_name;       // for reports
+};
+
+struct StageMetrics {
+  std::string command;
+  std::string combiner;
+  double seconds = 0;
+  std::size_t in_bytes = 0;
+  std::size_t out_bytes = 0;
+  int chunks = 1;                 // substreams actually processed
+  bool parallel = false;
+  bool combiner_eliminated = false;
+  bool combine_fallback = false;  // combiner failed; reran serially
+};
+
+struct RunConfig {
+  int parallelism = 1;
+  bool use_elimination = true;  // false = the paper's "unoptimized" mode
+};
+
+struct RunResult {
+  std::string output;
+  double seconds = 0;
+  std::vector<StageMetrics> stages;
+};
+
+RunResult run_pipeline(const std::vector<ExecStage>& stages,
+                       std::string_view input, ThreadPool& pool,
+                       const RunConfig& config);
+
+// Serial reference execution (every stage whole-stream, no parallelism).
+RunResult run_serial(const std::vector<ExecStage>& stages,
+                     std::string_view input);
+
+}  // namespace kq::exec

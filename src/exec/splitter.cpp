@@ -1,0 +1,26 @@
+#include "exec/splitter.h"
+
+namespace kq::exec {
+
+std::vector<std::string_view> split_stream(std::string_view input, int k) {
+  if (k <= 1 || input.size() <= 1) return {input};
+  std::vector<std::string_view> chunks;
+  std::size_t target = input.size() / static_cast<std::size_t>(k);
+  if (target == 0) target = 1;
+  std::size_t start = 0;
+  for (int i = 0; i < k - 1 && start < input.size(); ++i) {
+    std::size_t want = start + target;
+    if (want >= input.size()) break;
+    // Advance to the next newline at or after the target point.
+    std::size_t cut = input.find('\n', want);
+    if (cut == std::string_view::npos) break;  // remainder is one chunk
+    ++cut;  // keep the newline in the left chunk
+    if (cut >= input.size()) break;
+    chunks.push_back(input.substr(start, cut - start));
+    start = cut;
+  }
+  chunks.push_back(input.substr(start));
+  return chunks;
+}
+
+}  // namespace kq::exec

@@ -1,0 +1,17 @@
+// Input-stream splitting: divide a newline-terminated stream into up to k
+// contiguous substreams of roughly equal byte size, cutting only at line
+// boundaries so every substream is itself a stream (§2 "Model of
+// Computation" requires x1, x2 to terminate with newlines).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace kq::exec {
+
+// Returns between 1 and k chunks covering `input` exactly. Fewer than k
+// chunks are returned when the stream has fewer lines than k; chunks are
+// never empty (except that a single empty input yields one empty chunk).
+std::vector<std::string_view> split_stream(std::string_view input, int k);
+
+}  // namespace kq::exec

@@ -1,0 +1,34 @@
+#include "prep/delimiters.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace kq::prep {
+
+std::vector<char> infer_delims(const std::vector<std::string_view>& outputs,
+                               std::size_t cap) {
+  // Count candidate delimiters across outputs.
+  constexpr std::array<char, 3> kOptional = {' ', '\t', ','};
+  std::array<std::uint64_t, 3> counts{};
+  for (std::string_view out : outputs) {
+    for (char c : out) {
+      for (std::size_t i = 0; i < kOptional.size(); ++i)
+        if (c == kOptional[i]) ++counts[i];
+    }
+  }
+  std::vector<std::pair<std::uint64_t, char>> present;
+  for (std::size_t i = 0; i < kOptional.size(); ++i)
+    if (counts[i] > 0) present.push_back({counts[i], kOptional[i]});
+  std::stable_sort(present.begin(), present.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<char> delims = {'\n'};
+  for (const auto& [count, c] : present) {
+    if (delims.size() >= cap) break;
+    delims.push_back(c);
+  }
+  return delims;
+}
+
+}  // namespace kq::prep

@@ -1,0 +1,16 @@
+// Per-command delimiter-alphabet inference. The candidate space is built
+// over the delimiters that actually appear in the command's outputs
+// ('\n' always; '\t', ' ', ',' when observed), capped at three — matching
+// the three space sizes of the paper's Table 10 (see DESIGN.md §3).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace kq::prep {
+
+// Infers the delimiter alphabet from sample command outputs.
+std::vector<char> infer_delims(const std::vector<std::string_view>& outputs,
+                               std::size_t cap = 3);
+
+}  // namespace kq::prep

@@ -1,0 +1,103 @@
+#include "prep/literals.h"
+
+#include <cctype>
+
+#include "regex/regex.h"
+
+namespace kq::prep {
+namespace {
+
+void add_pattern_samples(const std::string& pattern, std::uint64_t seed,
+                         std::vector<std::string>& dictionary) {
+  auto re = regex::Regex::compile(pattern);
+  if (!re) return;
+  for (std::string& s : re->sample_matches(8, seed))
+    if (!s.empty()) dictionary.push_back(std::move(s));
+}
+
+// Extracts the pattern part of a sed `s<D>pattern<D>replacement<D>` script
+// and any numeric address (e.g. `100q`).
+void scan_sed_script(const std::string& script, std::uint64_t seed,
+                     CommandLiterals& out) {
+  std::size_t i = 0;
+  while (i < script.size() &&
+         std::isdigit(static_cast<unsigned char>(script[i])))
+    ++i;
+  if (i > 0) out.numbers.push_back(std::stol(script.substr(0, i)));
+  if (i < script.size() && script[i] == 's' && i + 1 < script.size()) {
+    char delim = script[i + 1];
+    std::size_t start = i + 2;
+    std::size_t end = start;
+    std::string pattern;
+    while (end < script.size() && script[end] != delim) {
+      if (script[end] == '\\' && end + 1 < script.size()) {
+        pattern.push_back(script[end]);
+        pattern.push_back(script[end + 1]);
+        end += 2;
+        continue;
+      }
+      pattern.push_back(script[end]);
+      ++end;
+    }
+    if (!pattern.empty() && pattern != "^" && pattern != "$")
+      add_pattern_samples(pattern, seed, out.dictionary);
+  }
+}
+
+void scan_numbers(const std::string& word, CommandLiterals& out) {
+  std::size_t i = 0;
+  while (i < word.size()) {
+    if (std::isdigit(static_cast<unsigned char>(word[i]))) {
+      std::size_t start = i;
+      while (i < word.size() &&
+             std::isdigit(static_cast<unsigned char>(word[i])))
+        ++i;
+      // Skip degenerate single digits used as awk truthy patterns.
+      if (i - start >= 1) {
+        long v = std::stol(word.substr(start, i - start));
+        if (v > 1) out.numbers.push_back(v);
+      }
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+CommandLiterals extract_literals(const std::vector<std::string>& argv,
+                                 std::uint64_t seed) {
+  CommandLiterals out;
+  if (argv.empty()) return out;
+  std::string prog = argv[0];
+  if (auto slash = prog.rfind('/'); slash != std::string::npos)
+    prog = prog.substr(slash + 1);
+
+  if (prog == "grep") {
+    for (std::size_t i = 1; i < argv.size(); ++i) {
+      if (!argv[i].empty() && argv[i][0] == '-') continue;
+      add_pattern_samples(argv[i], seed, out.dictionary);
+      break;
+    }
+  } else if (prog == "sed") {
+    for (std::size_t i = 1; i < argv.size(); ++i) {
+      if (argv[i] == "-e") continue;
+      if (!argv[i].empty() && argv[i][0] == '-') continue;
+      scan_sed_script(argv[i], seed, out);
+      break;
+    }
+  } else if (prog == "awk" || prog == "gawk" || prog == "mawk") {
+    for (std::size_t i = 1; i < argv.size(); ++i) {
+      if (argv[i] == "-v") {
+        ++i;
+        continue;
+      }
+      scan_numbers(argv[i], out);
+    }
+  } else if (prog == "head" || prog == "tail" || prog == "sed") {
+    for (std::size_t i = 1; i < argv.size(); ++i) scan_numbers(argv[i], out);
+  }
+  return out;
+}
+
+}  // namespace kq::prep

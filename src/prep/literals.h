@@ -1,0 +1,26 @@
+// Literal extraction from command scripts (§3.2 "Preprocessing"). The
+// preprocessor scans a command's argv for regular expressions and numeric
+// literals:
+//  * regex patterns (grep PATTERN, sed s/RE/../, awk comparisons) yield a
+//    dictionary of matching strings so that generated inputs exercise the
+//    command's selecting behaviour;
+//  * numeric literals (sed 100q, head -n N, awk "$1 >= 1000") seed input
+//    shapes whose dimensions straddle the number.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kq::prep {
+
+struct CommandLiterals {
+  // Strings that match extracted patterns (fed into the input dictionary).
+  std::vector<std::string> dictionary;
+  // Numeric literals found in the script.
+  std::vector<long> numbers;
+};
+
+CommandLiterals extract_literals(const std::vector<std::string>& argv,
+                                 std::uint64_t seed = 17);
+
+}  // namespace kq::prep

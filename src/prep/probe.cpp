@@ -1,0 +1,31 @@
+#include "prep/probe.h"
+
+namespace kq::prep {
+
+const char* to_string(InputClass c) {
+  switch (c) {
+    case InputClass::kAnyText: return "any-text";
+    case InputClass::kSortedText: return "sorted-text";
+    case InputClass::kFileNames: return "file-names";
+  }
+  return "?";
+}
+
+InputClass classify_inputs(const cmd::Command& f, const vfs::Vfs& fs) {
+  static const char kUnsorted[] = "melon\napple\nzebra\nberry\nkiwi\n";
+  static const char kSorted[] = "apple\nberry\nkiwi\nmelon\nzebra\n";
+
+  if (f.execute(kUnsorted).ok()) return InputClass::kAnyText;
+  if (f.execute(kSorted).ok()) return InputClass::kSortedText;
+
+  std::string file_list;
+  for (const std::string& name : fs.names()) {
+    file_list += name;
+    file_list.push_back('\n');
+  }
+  if (!file_list.empty() && f.execute(file_list).ok())
+    return InputClass::kFileNames;
+  return InputClass::kAnyText;
+}
+
+}  // namespace kq::prep

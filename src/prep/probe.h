@@ -1,0 +1,23 @@
+// Probe-input classification (§3.2 "Preprocessing"): KumQuat checks whether
+// a command can process three test inputs without errors — an unsorted word
+// list, the same list sorted, and a list of file names — and configures the
+// input generator accordingly (e.g. only sorted streams for `comm`, file
+// name dictionaries for `xargs`).
+#pragma once
+
+#include "unixcmd/command.h"
+#include "vfs/vfs.h"
+
+namespace kq::prep {
+
+enum class InputClass {
+  kAnyText,    // all probes succeed: unconstrained generation
+  kSortedText, // only the sorted probe succeeds (comm-style commands)
+  kFileNames,  // only the file-name probe succeeds (xargs-style commands)
+};
+
+const char* to_string(InputClass c);
+
+InputClass classify_inputs(const cmd::Command& f, const vfs::Vfs& fs);
+
+}  // namespace kq::prep

@@ -1,0 +1,46 @@
+// Running real external processes behind the Command interface: fork/exec
+// with pipe plumbing, feeding the input stream to the child's stdin and
+// collecting stdout/stderr. This is the substrate that lets the synthesizer
+// treat arbitrary host binaries as black boxes, exactly as the paper's
+// implementation does.
+//
+// The plumbing handles the classic deadlock (child blocks writing a full
+// stdout pipe while the parent blocks writing stdin) by multiplexing all
+// three pipes with poll(2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "unixcmd/command.h"
+
+namespace kq::procexec {
+
+// Runs `argv` as a child process with `input` on stdin; returns stdout,
+// exit status, and stderr. Returns nullopt if the process could not be
+// spawned at all.
+std::optional<cmd::Result> run_process(const std::vector<std::string>& argv,
+                                       std::string_view input);
+
+class ExternalCommand final : public cmd::Command {
+ public:
+  explicit ExternalCommand(std::vector<std::string> argv);
+
+  cmd::Result execute(std::string_view input) const override;
+
+  const std::vector<std::string>& argv() const { return argv_; }
+
+ private:
+  std::vector<std::string> argv_;
+};
+
+// Factory mirroring cmd::make_command_line for external binaries.
+cmd::CommandPtr make_external_command(std::string_view command_line,
+                                      std::string* error = nullptr);
+
+// True if `program` resolves to an executable on PATH (used by tests to
+// skip cross-validation when coreutils are absent).
+bool program_exists(const std::string& program);
+
+}  // namespace kq::procexec

@@ -1,0 +1,10 @@
+// Re-export of the shell-word splitter under the procexec module, kept for
+// API discoverability: external-command users usually start here.
+#pragma once
+
+#include "text/shellwords.h"
+
+namespace kq::procexec {
+using kq::text::shell_split;
+using kq::text::split_pipeline;
+}  // namespace kq::procexec

@@ -1,0 +1,121 @@
+// Sample-string generation: given a compiled pattern, produce strings that
+// match it. Used by preprocessing (§3.2) to build input dictionaries for
+// commands like `grep 'light.\*light'` that output nothing unless the input
+// contains matching lines.
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "regex/node.h"
+#include "regex/regex.h"
+
+namespace kq::regex {
+namespace detail {
+namespace {
+
+constexpr std::string_view kFriendlyAlphabet =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+class Sampler {
+ public:
+  explicit Sampler(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate(const Node& n) {
+    std::string out;
+    gen(n, out);
+    return out;
+  }
+
+ private:
+  void gen(const Node& n, std::string& out) {
+    switch (n.kind) {
+      case Kind::kLiteral:
+        out.push_back(n.ch);
+        break;
+      case Kind::kAny:
+        out.push_back(pick_friendly());
+        break;
+      case Kind::kClass:
+        out.push_back(pick_from_class(n.cls));
+        break;
+      case Kind::kBolAnchor:
+      case Kind::kEolAnchor:
+        break;
+      case Kind::kSeq:
+        for (const auto& c : n.children) gen(*c, out);
+        break;
+      case Kind::kAlt: {
+        std::uniform_int_distribution<std::size_t> d(0, n.children.size() - 1);
+        gen(*n.children[d(rng_)], out);
+        break;
+      }
+      case Kind::kGroup: {
+        std::string sub;
+        gen(*n.children[0], sub);
+        group_values_[static_cast<std::size_t>(n.index)] = sub;
+        out.append(sub);
+        break;
+      }
+      case Kind::kBackref:
+        out.append(group_values_[static_cast<std::size_t>(n.index)]);
+        break;
+      case Kind::kStar: {
+        int lo = n.min_repeat;
+        int hi = n.max_repeat < 0 ? std::max(3, lo) : n.max_repeat;
+        std::uniform_int_distribution<int> d(lo, hi);
+        int reps = d(rng_);
+        for (int i = 0; i < reps; ++i) gen(*n.children[0], out);
+        break;
+      }
+    }
+  }
+
+  char pick_friendly() {
+    std::uniform_int_distribution<std::size_t> d(0,
+                                                 kFriendlyAlphabet.size() - 1);
+    return kFriendlyAlphabet[d(rng_)];
+  }
+
+  char pick_from_class(const std::bitset<256>& cls) {
+    // Prefer printable friendly characters so generated lines survive
+    // text-oriented commands; fall back to any member of the class.
+    std::vector<char> friendly, any;
+    for (int c = 1; c < 256; ++c) {
+      if (!cls[static_cast<std::size_t>(c)]) continue;
+      char ch = static_cast<char>(c);
+      any.push_back(ch);
+      if (kFriendlyAlphabet.find(ch) != std::string_view::npos)
+        friendly.push_back(ch);
+    }
+    const auto& pool = friendly.empty() ? any : friendly;
+    if (pool.empty()) return 'a';  // empty class can never match anyway
+    std::uniform_int_distribution<std::size_t> d(0, pool.size() - 1);
+    return pool[d(rng_)];
+  }
+
+  std::mt19937_64 rng_;
+  std::array<std::string, 10> group_values_{};
+};
+
+}  // namespace
+}  // namespace detail
+
+std::vector<std::string> Regex::sample_matches(std::size_t count,
+                                               std::uint64_t seed) const {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  detail::Sampler sampler(seed);
+  // Generate with margin: structurally distinct draws may collide.
+  for (std::size_t attempt = 0; attempt < count * 8 && out.size() < count;
+       ++attempt) {
+    std::string s = sampler.generate(*root_);
+    // Strings containing newlines would break line-oriented input
+    // generation; skip them (the dictionary feeds single-line units).
+    if (s.find('\n') != std::string::npos) continue;
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace kq::regex

@@ -1,0 +1,168 @@
+#include <functional>
+
+#include "regex/node.h"
+#include "regex/regex.h"
+
+namespace kq::regex {
+namespace detail {
+namespace {
+
+using Caps = std::array<std::pair<std::size_t, std::size_t>, 10>;
+using Cont = std::function<bool(std::size_t)>;
+
+struct MatchContext {
+  std::string_view text;
+  Caps caps;
+};
+
+bool match_node(const Node& n, MatchContext& ctx, std::size_t pos,
+                const Cont& k);
+
+bool match_seq(const std::vector<NodePtr>& children, std::size_t idx,
+               MatchContext& ctx, std::size_t pos, const Cont& k) {
+  if (idx == children.size()) return k(pos);
+  return match_node(*children[idx], ctx, pos, [&](std::size_t p2) {
+    return match_seq(children, idx + 1, ctx, p2, k);
+  });
+}
+
+bool match_node(const Node& n, MatchContext& ctx, std::size_t pos,
+                const Cont& k) {
+  switch (n.kind) {
+    case Kind::kLiteral:
+      return pos < ctx.text.size() && ctx.text[pos] == n.ch && k(pos + 1);
+    case Kind::kAny:
+      return pos < ctx.text.size() && ctx.text[pos] != '\n' && k(pos + 1);
+    case Kind::kClass:
+      return pos < ctx.text.size() &&
+             n.cls[static_cast<unsigned char>(ctx.text[pos])] && k(pos + 1);
+    case Kind::kBolAnchor:
+      return pos == 0 && k(pos);
+    case Kind::kEolAnchor:
+      return pos == ctx.text.size() && k(pos);
+    case Kind::kSeq:
+      return match_seq(n.children, 0, ctx, pos, k);
+    case Kind::kAlt:
+      for (const auto& branch : n.children)
+        if (match_node(*branch, ctx, pos, k)) return true;
+      return false;
+    case Kind::kGroup:
+      return match_node(*n.children[0], ctx, pos, [&](std::size_t p2) {
+        auto idx = static_cast<std::size_t>(n.index);
+        auto saved = ctx.caps[idx];
+        ctx.caps[idx] = {pos, p2};
+        if (k(p2)) return true;
+        ctx.caps[idx] = saved;
+        return false;
+      });
+    case Kind::kBackref: {
+      auto [b, e] = ctx.caps[static_cast<std::size_t>(n.index)];
+      if (b == Match::kNpos) return false;  // unparticipating group
+      std::string_view captured = ctx.text.substr(b, e - b);
+      if (ctx.text.substr(pos, captured.size()) != captured) return false;
+      return k(pos + captured.size());
+    }
+    case Kind::kStar: {
+      // Greedy: try one more repetition first, fall back to continuing.
+      const Node& child = *n.children[0];
+      std::function<bool(int, std::size_t)> rep = [&](int count,
+                                                      std::size_t p) {
+        if (n.max_repeat < 0 || count < n.max_repeat) {
+          bool extended = match_node(child, ctx, p, [&](std::size_t p2) {
+            if (p2 == p) return false;  // refuse empty-width repetitions
+            return rep(count + 1, p2);
+          });
+          if (extended) return true;
+        }
+        return count >= n.min_repeat && k(p);
+      };
+      return rep(0, pos);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace detail
+
+std::optional<Match> Regex::find(std::string_view line,
+                                 std::size_t from) const {
+  detail::MatchContext ctx{line, {}};
+  for (std::size_t start = from; start <= line.size(); ++start) {
+    ctx.caps.fill({Match::kNpos, Match::kNpos});
+    std::size_t match_end = 0;
+    bool ok = detail::match_node(*root_, ctx, start, [&](std::size_t p) {
+      match_end = p;
+      return true;
+    });
+    if (ok) {
+      Match m;
+      m.begin = start;
+      m.end = match_end;
+      m.groups = ctx.caps;
+      m.group_count = group_count_;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Regex::search(std::string_view line) const {
+  return find(line).has_value();
+}
+
+namespace {
+
+// Expands a sed-style replacement: & is the whole match, \1..\9 captures,
+// \\ a literal backslash, \n a newline, \& a literal ampersand.
+void expand_replacement(std::string& out, std::string_view replacement,
+                        std::string_view text, const Match& m) {
+  for (std::size_t i = 0; i < replacement.size(); ++i) {
+    char c = replacement[i];
+    if (c == '&') {
+      out.append(text.substr(m.begin, m.end - m.begin));
+    } else if (c == '\\' && i + 1 < replacement.size()) {
+      char e = replacement[++i];
+      if (e >= '1' && e <= '9') {
+        out.append(m.group(text, e - '0'));
+      } else if (e == 'n') {
+        out.push_back('\n');
+      } else if (e == 't') {
+        out.push_back('\t');
+      } else {
+        out.push_back(e);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Regex::replace(std::string_view line, std::string_view replacement,
+                           bool global, bool* replaced) const {
+  std::string out;
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos <= line.size()) {
+    auto m = find(line, pos);
+    if (!m) break;
+    out.append(line.substr(pos, m->begin - pos));
+    expand_replacement(out, replacement, line, *m);
+    any = true;
+    if (m->end == m->begin) {
+      // Empty-width match: emit the next character to guarantee progress.
+      if (m->end < line.size()) out.push_back(line[m->end]);
+      pos = m->end + 1;
+    } else {
+      pos = m->end;
+    }
+    if (!global) break;
+  }
+  if (pos <= line.size()) out.append(line.substr(pos));
+  if (replaced) *replaced = any;
+  return out;
+}
+
+}  // namespace kq::regex

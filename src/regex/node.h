@@ -1,0 +1,36 @@
+// Internal AST for the BRE engine. Shared by parser.cpp, matcher.cpp, and
+// generator.cpp; not part of the public API.
+#pragma once
+
+#include <bitset>
+#include <memory>
+#include <vector>
+
+namespace kq::regex::detail {
+
+enum class Kind {
+  kLiteral,   // ch
+  kAny,       // .
+  kClass,     // cls bitset (negation folded in)
+  kStar,      // children[0]*   (min_repeat 0 or 1, opt => max 1)
+  kGroup,     // \( children[0] \), index = capture number
+  kBackref,   // \index
+  kAlt,       // children = branches
+  kSeq,       // children in order
+  kBolAnchor, // ^
+  kEolAnchor, // $
+};
+
+struct Node {
+  Kind kind;
+  char ch = 0;
+  std::bitset<256> cls;
+  int index = 0;        // group / backref number
+  int min_repeat = 0;   // for kStar: 0 => '*'/'\?', 1 => '\+'
+  int max_repeat = -1;  // for kStar: -1 unbounded, 1 => '\?'
+  std::vector<std::shared_ptr<Node>> children;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+}  // namespace kq::regex::detail

@@ -1,0 +1,94 @@
+// A small backtracking regular-expression engine for the POSIX BRE subset
+// used by the paper's benchmark commands (`grep`, `sed s///`) plus the GNU
+// extensions \+ \? \|.
+//
+// Supported syntax:
+//   c          literal character
+//   .          any character except newline
+//   [abc]      bracket expression; ranges a-z; negation [^...];
+//              character classes [:alpha:] [:digit:] [:punct:] [:space:]
+//              [:upper:] [:lower:] [:alnum:]
+//   *          zero or more of the previous atom (literal at branch start)
+//   \+  \?     one-or-more / zero-or-one (GNU extensions)
+//   \(..\)     capture group (up to 9)
+//   \1..\9     backreference
+//   \|         alternation (GNU extension)
+//   ^  $       anchors at branch start / end (literal elsewhere)
+//   \c         escaped literal
+//
+// Matching is greedy backtracking (leftmost match, greedy quantifiers);
+// this agrees with GNU grep/sed on every pattern in the benchmark suite and
+// is documented as the engine's semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kq::regex {
+
+namespace detail {
+struct Node;
+}
+
+// A successful match: [begin,end) of the whole match plus capture groups.
+struct Match {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  // groups[i] is the i-th capture (1-based like \1); npos pair if unset.
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  std::array<std::pair<std::size_t, std::size_t>, 10> groups{};
+  int group_count = 0;
+
+  std::string_view group(std::string_view text, int i) const {
+    auto [b, e] = groups[static_cast<std::size_t>(i)];
+    if (b == kNpos) return {};
+    return text.substr(b, e - b);
+  }
+};
+
+class Regex {
+ public:
+  Regex(Regex&&) noexcept;
+  Regex& operator=(Regex&&) noexcept;
+  ~Regex();
+
+  // Compiles `pattern`; returns nullopt and sets *error on syntax errors.
+  static std::optional<Regex> compile(std::string_view pattern,
+                                      std::string* error = nullptr);
+
+  // True iff the pattern matches anywhere in `line` (grep semantics; `line`
+  // must not contain the trailing newline).
+  bool search(std::string_view line) const;
+
+  // Leftmost match starting at or after `from`, or nullopt.
+  std::optional<Match> find(std::string_view line, std::size_t from = 0) const;
+
+  // sed `s///` semantics: replaces the first (or, with `global`, every
+  // non-overlapping) match with `replacement`, where `\1`..`\9` and `&`
+  // refer to captures / the whole match. Sets *replaced if any change.
+  std::string replace(std::string_view line, std::string_view replacement,
+                      bool global = false, bool* replaced = nullptr) const;
+
+  // Generates up to `count` distinct strings matching the pattern, for the
+  // preprocessing dictionary (§3.2 "Preprocessing"). Backreference-free
+  // parts are sampled structurally; stars sample 0..3 repetitions.
+  std::vector<std::string> sample_matches(std::size_t count,
+                                          std::uint64_t seed) const;
+
+  const std::string& pattern() const { return pattern_; }
+  int group_count() const { return group_count_; }
+
+ private:
+  Regex();
+  std::string pattern_;
+  std::shared_ptr<detail::Node> root_;  // alternation of branches
+  int group_count_ = 0;
+  friend struct detail::Node;
+};
+
+}  // namespace kq::regex

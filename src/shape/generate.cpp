@@ -1,0 +1,119 @@
+#include "shape/generate.h"
+
+#include <algorithm>
+
+namespace kq::shape {
+namespace {
+
+// Alphabet used for random words: letters plus digits so that numeric
+// fragments appear (needed to distinguish add from concat), weighted
+// towards lowercase letters.
+constexpr std::string_view kAlphabet =
+    "aabcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+int draw_count(const DimConfig& d, std::mt19937_64& rng) {
+  int lo = std::min(d.min_count, d.max_count);
+  int hi = std::max(d.min_count, d.max_count);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(rng);
+}
+
+// Pool size implementing the distinct-% knob: at least one element, at most
+// `total`, approximately total * pct / 100.
+std::size_t pool_size(std::size_t total, int pct) {
+  if (total == 0) return 1;
+  std::size_t size = (total * static_cast<std::size_t>(std::max(1, pct))) / 100;
+  return std::clamp<std::size_t>(size, 1, total);
+}
+
+std::string random_word(const DimConfig& chars, std::mt19937_64& rng,
+                        std::size_t alphabet_pool) {
+  int len = std::max(1, draw_count(chars, rng));
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet_pool - 1);
+  std::string w;
+  w.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) w.push_back(kAlphabet[pick(rng)]);
+  return w;
+}
+
+}  // namespace
+
+std::string generate_stream(const Shape& shape, const GenOptions& options,
+                            std::mt19937_64& rng) {
+  int n_lines = std::max(1, draw_count(shape.lines, rng));
+
+  // Character pool: restrict the alphabet prefix according to distinct %.
+  std::size_t alphabet_pool =
+      pool_size(kAlphabet.size(), shape.chars.distinct_pct);
+
+  // Word pool: either dictionary entries or random words.
+  std::size_t approx_word_slots = static_cast<std::size_t>(n_lines) *
+      static_cast<std::size_t>(std::max(1, shape.words.max_count));
+  std::size_t n_words = pool_size(approx_word_slots, shape.words.distinct_pct);
+  std::vector<std::string> word_pool;
+  word_pool.reserve(n_words);
+  if (!options.dictionary.empty()) {
+    std::uniform_int_distribution<std::size_t> pick(
+        0, options.dictionary.size() - 1);
+    for (std::size_t i = 0; i < n_words; ++i)
+      word_pool.push_back(options.dictionary[pick(rng)]);
+  } else {
+    for (std::size_t i = 0; i < n_words; ++i)
+      word_pool.push_back(random_word(shape.chars, rng, alphabet_pool));
+  }
+
+  // Line pool: distinct lines assembled from the word pool.
+  std::size_t n_distinct_lines =
+      pool_size(static_cast<std::size_t>(n_lines), shape.lines.distinct_pct);
+  std::vector<std::string> line_pool;
+  line_pool.reserve(n_distinct_lines);
+  std::uniform_int_distribution<std::size_t> pick_word(0,
+                                                       word_pool.size() - 1);
+  for (std::size_t i = 0; i < n_distinct_lines; ++i) {
+    int n_line_words = draw_count(shape.words, rng);
+    std::string line;
+    for (int w = 0; w < n_line_words; ++w) {
+      if (w != 0) line.push_back(' ');
+      line += word_pool[pick_word(rng)];
+    }
+    line_pool.push_back(std::move(line));
+  }
+
+  std::vector<std::string_view> chosen;
+  chosen.reserve(static_cast<std::size_t>(n_lines));
+  std::uniform_int_distribution<std::size_t> pick_line(0,
+                                                       line_pool.size() - 1);
+  for (int i = 0; i < n_lines; ++i) chosen.push_back(line_pool[pick_line(rng)]);
+  if (options.sorted) std::sort(chosen.begin(), chosen.end());
+
+  std::string out;
+  for (std::string_view l : chosen) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+InputPair generate_pair(const Shape& shape, const GenOptions& options,
+                        std::mt19937_64& rng) {
+  std::string full = generate_stream(shape, options, rng);
+  // Split at a line boundary, keeping both halves non-empty streams when
+  // possible (a half is at minimum "\n"-terminated content of one line).
+  std::vector<std::size_t> boundaries;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    if (full[i] == '\n') boundaries.push_back(i + 1);
+  InputPair pair;
+  if (boundaries.size() <= 1) {
+    // One line: duplicate a one-line stream so both halves are streams.
+    pair.x1 = full;
+    pair.x2 = full;
+    return pair;
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, boundaries.size() - 2);
+  std::size_t cut = boundaries[pick(rng)];
+  pair.x1 = full.substr(0, cut);
+  pair.x2 = full.substr(cut);
+  return pair;
+}
+
+}  // namespace kq::shape

@@ -1,0 +1,43 @@
+// Random input-stream generation from shapes (§3.2 "Input Generation").
+// The generator draws units (lines / words / characters) from bounded pools
+// whose sizes implement the shape's distinct-% knobs: a small pool produces
+// many duplicate units (the counterexample shape for `uniq`), a large pool
+// produces mostly-unique units.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "shape/shape.h"
+
+namespace kq::shape {
+
+struct GenOptions {
+  // Unit dictionary: when non-empty, words are drawn from it instead of
+  // being random character strings (regex dictionaries, file names; §3.2
+  // "Preprocessing").
+  std::vector<std::string> dictionary;
+  // Generate sorted streams (for commands like comm that reject unsorted
+  // input; the split point keeps x1, x2, and x1++x2 all sorted).
+  bool sorted = false;
+};
+
+struct InputPair {
+  std::string x1;
+  std::string x2;
+  std::string joined() const { return x1 + x2; }
+};
+
+// Generates one newline-terminated stream satisfying `shape`.
+std::string generate_stream(const Shape& shape, const GenOptions& options,
+                            std::mt19937_64& rng);
+
+// Generates an input stream pair ⟨x1,x2⟩ with (x1 ++ x2) ~ shape
+// (Definition 3.12): the full stream is generated and split at a random
+// line boundary so both halves are themselves streams.
+InputPair generate_pair(const Shape& shape, const GenOptions& options,
+                        std::mt19937_64& rng);
+
+}  // namespace kq::shape

@@ -1,0 +1,56 @@
+#include "shape/mutate.h"
+
+#include <algorithm>
+
+namespace kq::shape {
+namespace {
+
+void more_elements(DimConfig& d, int cap) {
+  d.max_count = std::min(cap, std::max(d.max_count * 2, d.max_count + 2));
+  d.min_count = std::min(d.min_count + 1, d.max_count);
+}
+
+void fewer_elements(DimConfig& d, int floor_min) {
+  d.max_count = std::max(floor_min, d.max_count / 2);
+  d.min_count = std::max(std::min(d.min_count, d.max_count), floor_min);
+}
+
+void more_varied(DimConfig& d) {
+  d.distinct_pct = std::min(100, d.distinct_pct + 30);
+}
+
+void less_varied(DimConfig& d) {
+  d.distinct_pct = std::max(5, d.distinct_pct - 30);
+}
+
+}  // namespace
+
+Shape mutate_shape(const Shape& s, int j) {
+  Shape out = s;
+  DimConfig* dim = nullptr;
+  int cap = 0, floor_min = 0;
+  switch (j / 4) {
+    case 0: dim = &out.lines; cap = 64; floor_min = 1; break;
+    case 1: dim = &out.words; cap = 12; floor_min = 0; break;
+    default: dim = &out.chars; cap = 16; floor_min = 1; break;
+  }
+  switch (j % 4) {
+    case 0: more_elements(*dim, cap); break;
+    case 1: fewer_elements(*dim, floor_min); break;
+    case 2: more_varied(*dim); break;
+    default: less_varied(*dim); break;
+  }
+  return out;
+}
+
+const char* mutation_name(int j) {
+  static const char* kNames[kMutationCount] = {
+      "lines+", "lines-", "lines~more-varied", "lines~less-varied",
+      "words+", "words-", "words~more-varied", "words~less-varied",
+      "chars+", "chars-", "chars~more-varied", "chars~less-varied",
+  };
+  if (j < 0 || j >= kMutationCount) return "?";
+  return kNames[j];
+}
+
+}  // namespace kq::shape

@@ -1,0 +1,18 @@
+// The twelve shape mutations of Algorithm 2: three dimensions (lines,
+// words, characters) × four directions (more elements, fewer elements,
+// more varied, less varied).
+#pragma once
+
+#include "shape/shape.h"
+
+namespace kq::shape {
+
+inline constexpr int kMutationCount = 12;
+
+// Returns `s` mutated along mutation index j ∈ [0, kMutationCount).
+Shape mutate_shape(const Shape& s, int j);
+
+// Human-readable mutation name ("lines+", "words~less-varied", ...).
+const char* mutation_name(int j);
+
+}  // namespace kq::shape

@@ -1,0 +1,43 @@
+#include "shape/shape.h"
+
+#include <algorithm>
+
+namespace kq::shape {
+
+std::string Shape::to_string() const {
+  auto dim = [](const DimConfig& d) {
+    return "<" + std::to_string(d.min_count) + "," +
+           std::to_string(d.max_count) + "," + std::to_string(d.distinct_pct) +
+           "%>";
+  };
+  return "lines" + dim(lines) + " words" + dim(words) + " chars" + dim(chars);
+}
+
+Shape seed_shape() { return Shape{}; }
+
+Shape random_shape(std::mt19937_64& rng) {
+  Shape s = seed_shape();
+  auto jitter = [&rng](DimConfig& d, int max_hi) {
+    std::uniform_int_distribution<int> hi(std::max(1, d.min_count + 1),
+                                          max_hi);
+    d.max_count = hi(rng);
+    std::uniform_int_distribution<int> pct(10, 100);
+    d.distinct_pct = pct(rng);
+  };
+  jitter(s.lines, 10);
+  jitter(s.words, 6);
+  jitter(s.chars, 8);
+  return s;
+}
+
+Shape seed_shape_near_count(long n) {
+  // Straddle the literal from above: totals in [n, n+3] make truncating
+  // behaviour (e.g. `sed 100q` dropping trailing lines) show up in most
+  // generated pairs while f(x1) and f(x2) individually stay untruncated.
+  Shape s = seed_shape();
+  s.lines.min_count = static_cast<int>(std::max<long>(1, n));
+  s.lines.max_count = static_cast<int>(n + 3);
+  return s;
+}
+
+}  // namespace kq::shape

@@ -1,0 +1,37 @@
+// Input shapes (Definition 3.11): a shape constrains three dimensions of a
+// generated input stream — lines per stream, words per line, characters per
+// word — each with ⟨min count, max count, distinct %⟩. Shapes are the state
+// of the gradient-style input search (Algorithm 2).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace kq::shape {
+
+struct DimConfig {
+  int min_count = 1;
+  int max_count = 4;
+  int distinct_pct = 60;  // percentage of distinct elements in [1,100]
+};
+
+struct Shape {
+  DimConfig lines{1, 6, 60};
+  DimConfig words{0, 4, 60};  // min 0: empty lines probe delimiter edges
+  DimConfig chars{1, 5, 50};
+
+  std::string to_string() const;
+};
+
+// The predefined seed shape the search starts from (§3.2).
+Shape seed_shape();
+
+// A randomized perturbation of the seed shape (Algorithm 1's RandomShape()).
+Shape random_shape(std::mt19937_64& rng);
+
+// A seed shape whose line dimension straddles `n` — used when preprocessing
+// extracts a numeric literal such as `sed 100q` (§3.2 "Preprocessing").
+Shape seed_shape_near_count(long n);
+
+}  // namespace kq::shape

@@ -1,0 +1,66 @@
+#include "synth/composite.h"
+
+#include <algorithm>
+
+#include "dsl/ast.h"
+
+namespace kq::synth {
+
+CompositeCombiner CompositeCombiner::select(
+    const std::vector<dsl::Combiner>& plausible) {
+  CompositeCombiner out;
+  for (dsl::OpClass cls :
+       {dsl::OpClass::kRec, dsl::OpClass::kStruct, dsl::OpClass::kRun}) {
+    for (const dsl::Combiner& g : plausible)
+      if (g.cls() == cls) out.ordered_.push_back(g);
+    if (!out.ordered_.empty()) break;
+  }
+  std::stable_sort(out.ordered_.begin(), out.ordered_.end(),
+                   [](const dsl::Combiner& a, const dsl::Combiner& b) {
+                     int sa = dsl::size(a), sb = dsl::size(b);
+                     if (sa != sb) return sa < sb;
+                     return dsl::to_string(a) < dsl::to_string(b);
+                   });
+  return out;
+}
+
+std::optional<std::string> CompositeCombiner::apply(
+    std::string_view y1, std::string_view y2,
+    const dsl::EvalContext& ctx) const {
+  for (const dsl::Combiner& g : ordered_) {
+    if (auto v = dsl::eval(g, y1, y2, ctx)) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CompositeCombiner::apply_k(
+    const std::vector<std::string>& parts, const dsl::EvalContext& ctx) const {
+  for (const dsl::Combiner& g : ordered_) {
+    if (auto v = dsl::combine_k(g, parts, ctx)) return v;
+  }
+  return std::nullopt;
+}
+
+bool CompositeCombiner::concat_equivalent() const {
+  for (const dsl::Combiner& g : ordered_)
+    if (g.node->op == dsl::Op::kConcat && !g.swapped) return true;
+  return false;
+}
+
+bool CompositeCombiner::rerun_only() const {
+  if (ordered_.empty()) return false;
+  for (const dsl::Combiner& g : ordered_)
+    if (g.node->op != dsl::Op::kRerun) return false;
+  return true;
+}
+
+std::string CompositeCombiner::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < ordered_.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += dsl::to_string(ordered_[i]);
+  }
+  return out;
+}
+
+}  // namespace kq::synth

@@ -1,0 +1,58 @@
+// Composite combiner construction (§3.2 "Multiple Plausible Combiners").
+// When several plausible combiners survive, the synthesizer keeps the most
+// specific class available (RecOp, else StructOp, else RunOp) and composes
+// them by domain dispatch: the first combiner whose domain contains the
+// operands is applied. Theorems 1/3 guarantee the order does not matter
+// when the correct combiner is among the representative sets.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/eval.h"
+#include "dsl/kway.h"
+
+namespace kq::dsl {
+class Combiner;  // fwd
+}
+
+namespace kq::synth {
+
+class CompositeCombiner {
+ public:
+  CompositeCombiner() = default;
+
+  // Selects the preferred class subset of `plausible` and orders it by
+  // (size, printed form) for deterministic dispatch.
+  static CompositeCombiner select(const std::vector<dsl::Combiner>& plausible);
+
+  bool empty() const { return ordered_.empty(); }
+  const std::vector<dsl::Combiner>& combiners() const { return ordered_; }
+  const dsl::Combiner* primary() const {
+    return ordered_.empty() ? nullptr : &ordered_.front();
+  }
+
+  // Applies the first combiner defined on (y1, y2).
+  std::optional<std::string> apply(std::string_view y1, std::string_view y2,
+                                   const dsl::EvalContext& ctx = {}) const;
+
+  // k-way application (§3.5): tries each combiner's k-way form in order.
+  std::optional<std::string> apply_k(const std::vector<std::string>& parts,
+                                     const dsl::EvalContext& ctx = {}) const;
+
+  // True if plain (unswapped) concat is among the plausible combiners —
+  // the precondition for intermediate-combiner elimination (Theorem 5).
+  bool concat_equivalent() const;
+
+  // True if every plausible combiner is a rerun (the stages the compiler
+  // may decide to keep sequential, §2).
+  bool rerun_only() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<dsl::Combiner> ordered_;
+};
+
+}  // namespace kq::synth

@@ -1,0 +1,45 @@
+#include "synth/input_search.h"
+
+#include "synth/filter.h"
+
+namespace kq::synth {
+
+InputSearchResult effective_inputs(const cmd::Command& f,
+                                   const std::vector<dsl::Combiner>& candidates,
+                                   const shape::Shape& initial,
+                                   const shape::GenOptions& gen,
+                                   const InputSearchConfig& config,
+                                   const dsl::EvalContext& ctx,
+                                   std::mt19937_64& rng) {
+  InputSearchResult result;
+  shape::Shape current = initial;
+  for (int m = 0; m < config.iterations; ++m) {
+    int best_j = 0;
+    std::size_t best_score = 0;
+    bool have_best = false;
+    for (int j = 0; j < shape::kMutationCount; ++j) {
+      shape::Shape mutated = shape::mutate_shape(current, j);
+      std::vector<shape::InputPair> pairs;
+      pairs.reserve(static_cast<std::size_t>(config.pairs_per_shape));
+      for (int p = 0; p < config.pairs_per_shape; ++p)
+        pairs.push_back(shape::generate_pair(mutated, gen, rng));
+      std::vector<Observation> obs = observe_all(f, pairs);
+      std::size_t score =
+          count_eliminated(candidates, obs, ctx, config.score_sample_cap);
+      for (shape::InputPair& pair : pairs)
+        result.pairs.push_back(std::move(pair));
+      for (Observation& o : obs) result.observations.push_back(std::move(o));
+      if (!have_best || score > best_score) {
+        have_best = true;
+        best_score = score;
+        best_j = j;
+      }
+    }
+    result.chosen_mutations.push_back(best_j);
+    current = shape::mutate_shape(current, best_j);
+  }
+  result.final_shape = current;
+  return result;
+}
+
+}  // namespace kq::synth

@@ -1,0 +1,39 @@
+// Algorithm 2 (GetEffectiveInputs): gradient-style search over input
+// shapes. Each iteration tries all twelve mutations of the current shape,
+// scores each by how many candidate combiners its generated inputs
+// eliminate, and steps to the best mutation. All generated pairs are
+// returned as evidence.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "dsl/eval.h"
+#include "shape/generate.h"
+#include "shape/mutate.h"
+#include "synth/observation.h"
+
+namespace kq::synth {
+
+struct InputSearchConfig {
+  int iterations = 3;        // M in Algorithm 2
+  int pairs_per_shape = 2;   // |GetInputStreamPairs(s)|
+  std::size_t score_sample_cap = 2048;  // see count_eliminated
+};
+
+struct InputSearchResult {
+  std::vector<shape::InputPair> pairs;
+  std::vector<Observation> observations;
+  shape::Shape final_shape;
+  std::vector<int> chosen_mutations;  // j' per iteration, for diagnostics
+};
+
+InputSearchResult effective_inputs(const cmd::Command& f,
+                                   const std::vector<dsl::Combiner>& candidates,
+                                   const shape::Shape& initial,
+                                   const shape::GenOptions& gen,
+                                   const InputSearchConfig& config,
+                                   const dsl::EvalContext& ctx,
+                                   std::mt19937_64& rng);
+
+}  // namespace kq::synth

@@ -1,0 +1,26 @@
+#include "synth/observation.h"
+
+namespace kq::synth {
+
+std::optional<Observation> observe(const cmd::Command& f,
+                                   const shape::InputPair& pair) {
+  cmd::Result r1 = f.execute(pair.x1);
+  if (!r1.ok()) return std::nullopt;
+  cmd::Result r2 = f.execute(pair.x2);
+  if (!r2.ok()) return std::nullopt;
+  cmd::Result r12 = f.execute(pair.joined());
+  if (!r12.ok()) return std::nullopt;
+  return Observation{std::move(r1.out), std::move(r2.out), std::move(r12.out)};
+}
+
+std::vector<Observation> observe_all(const cmd::Command& f,
+                                     const std::vector<shape::InputPair>& xs) {
+  std::vector<Observation> out;
+  out.reserve(xs.size());
+  for (const shape::InputPair& pair : xs) {
+    if (auto obs = observe(f, pair)) out.push_back(std::move(*obs));
+  }
+  return out;
+}
+
+}  // namespace kq::synth

@@ -1,0 +1,29 @@
+// Observations (Definition 3.5): executing f on an input stream pair
+// ⟨x1,x2⟩ yields ⟨f(x1), f(x2), f(x1 ++ x2)⟩, the only evidence the
+// synthesizer ever sees about the black-box command.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shape/generate.h"
+#include "unixcmd/command.h"
+
+namespace kq::synth {
+
+struct Observation {
+  std::string y1;
+  std::string y2;
+  std::string y12;
+};
+
+// Runs f on the pair; nullopt if any of the three executions fails (the
+// pair is then discarded rather than used as evidence).
+std::optional<Observation> observe(const cmd::Command& f,
+                                   const shape::InputPair& pair);
+
+std::vector<Observation> observe_all(const cmd::Command& f,
+                                     const std::vector<shape::InputPair>& xs);
+
+}  // namespace kq::synth

@@ -1,0 +1,293 @@
+#include "synth/sufficiency.h"
+
+#include "dsl/domain.h"
+#include "text/strings.h"
+#include "text/numbers.h"
+#include "text/padding.h"
+#include "text/streams.h"
+
+namespace kq::synth {
+namespace {
+
+// Strips a single front/back delimiter layer per Table 2's reductions
+// (e.g. E(g_ba, Y) = E(g_a, Y') where Y' drops the trailing delimiter).
+std::optional<std::string_view> strip_back(std::string_view y, char d) {
+  if (y.empty() || y.back() != d) return std::nullopt;
+  return y.substr(0, y.size() - 1);
+}
+
+std::optional<std::string_view> strip_front(std::string_view y, char d) {
+  if (y.empty() || y.front() != d) return std::nullopt;
+  return y.substr(1);
+}
+
+bool all_zero_digits(std::string_view s) {
+  if (s.empty()) return true;
+  for (char c : s)
+    if (c != '0') return false;
+  return true;
+}
+
+// E(g_a, Y): some y1 not all zeros, some y2 not all zeros (Table 2).
+bool e_add(const std::vector<Observation>& observations) {
+  bool y1_nonzero = false, y2_nonzero = false;
+  for (const auto& obs : observations) {
+    if (!all_zero_digits(obs.y1)) y1_nonzero = true;
+    if (!all_zero_digits(obs.y2)) y2_nonzero = true;
+  }
+  return y1_nonzero && y2_nonzero;
+}
+
+// E(g_c, Y): some y1 non-empty, some y2 non-empty.
+bool e_concat(const std::vector<Observation>& observations) {
+  bool y1_nonempty = false, y2_nonempty = false;
+  for (const auto& obs : observations) {
+    if (!obs.y1.empty()) y1_nonempty = true;
+    if (!obs.y2.empty()) y2_nonempty = true;
+  }
+  return y1_nonempty && y2_nonempty;
+}
+
+// E(g_f, Y): some y1 != y2; some y2 with a significant character
+// (E(g_s, Y) swaps the roles).
+bool e_select(const std::vector<Observation>& observations,
+              bool first_selected) {
+  bool differ = false, significant = false;
+  for (const auto& obs : observations) {
+    if (obs.y1 != obs.y2) differ = true;
+    if (has_significant_char(first_selected ? obs.y2 : obs.y1))
+      significant = true;
+  }
+  return differ && significant;
+}
+
+// Recursive reduction for composite representatives (back/front/fuse over
+// add or concat): strip the formatting layer from every observation, then
+// check the base predicate.
+std::optional<std::vector<Observation>> strip_layer(
+    const std::vector<Observation>& observations, dsl::Op op, char d) {
+  std::vector<Observation> out;
+  out.reserve(observations.size());
+  for (const auto& obs : observations) {
+    auto strip = [&](std::string_view y) -> std::optional<std::string_view> {
+      return op == dsl::Op::kBack ? strip_back(y, d) : strip_front(y, d);
+    };
+    auto y1 = strip(obs.y1);
+    auto y2 = strip(obs.y2);
+    if (!y1 || !y2) return std::nullopt;
+    // The E predicates only inspect the operand components; keep y12
+    // best-effort (it may be absent in derived observation sets).
+    auto y12 = strip(obs.y12);
+    out.push_back({std::string(*y1), std::string(*y2),
+                   y12 ? std::string(*y12) : std::string()});
+  }
+  return out;
+}
+
+// fuse layer: split every stream into its d-separated elements (Table 2's
+// E(g_fa, Y') construction) producing one derived observation per element.
+std::optional<std::vector<Observation>> split_fuse_layer(
+    const std::vector<Observation>& observations, char d) {
+  std::vector<Observation> out;
+  for (const auto& obs : observations) {
+    auto p1 = text::split(obs.y1, d);
+    auto p2 = text::split(obs.y2, d);
+    if (p1.size() < 2 || p1.size() != p2.size()) return std::nullopt;
+    auto p12 = text::split(obs.y12, d);
+    bool y12_usable = p12.size() == p1.size();
+    for (std::size_t i = 0; i < p1.size(); ++i)
+      out.push_back({std::string(p1[i]), std::string(p2[i]),
+                     y12_usable ? std::string(p12[i]) : std::string()});
+  }
+  return out;
+}
+
+bool e_rec_node(const dsl::Node& g, const std::vector<Observation>& observations) {
+  switch (g.op) {
+    case dsl::Op::kAdd:
+      return e_add(observations);
+    case dsl::Op::kConcat:
+      return e_concat(observations);
+    case dsl::Op::kFirst:
+      return e_select(observations, /*first_selected=*/true);
+    case dsl::Op::kSecond:
+      return e_select(observations, /*first_selected=*/false);
+    case dsl::Op::kBack:
+    case dsl::Op::kFront: {
+      auto stripped = strip_layer(observations, g.op, g.delim);
+      return stripped && e_rec_node(*g.child1, *stripped);
+    }
+    case dsl::Op::kFuse: {
+      auto split = split_fuse_layer(observations, g.delim);
+      return split && e_rec_node(*g.child1, *split);
+    }
+    default:
+      return false;
+  }
+}
+
+// Boundary-line witness for E(g_sf)/E(g_saf)/E_struct: an observation
+// whose last-of-y1 line equals first-of-y2 with significant characters.
+struct BoundaryWitness {
+  bool found = false;
+  bool next_line_nonempty = false;
+};
+
+BoundaryWitness boundary_witness(
+    const std::vector<Observation>& observations) {
+  BoundaryWitness w;
+  for (const auto& obs : observations) {
+    auto last = text::split_last_line(obs.y1);
+    auto first = text::split_first_line(obs.y2);
+    if (!last.ok || !first.ok) continue;
+    if (last.line != first.line) continue;
+    auto unpadded = text::del_pad(last.line);
+    if (unpadded.rest.empty()) continue;
+    if (is_delim_or_zero(unpadded.rest.front())) continue;
+    if (is_delim_or_zero(last.line.back())) continue;
+    w.found = true;
+    auto next = text::split_first_line(first.tail);
+    if (next.ok && !next.line.empty()) w.next_line_nonempty = true;
+    if (w.next_line_nonempty) break;
+  }
+  return w;
+}
+
+// The deformatted-head observations of Definition B.15's second clause.
+std::vector<Observation> deformatted_heads(
+    const std::vector<Observation>& observations, char d) {
+  std::vector<Observation> out;
+  for (const auto& obs : observations) {
+    auto last = text::split_last_line(obs.y1);
+    auto first = text::split_first_line(obs.y2);
+    if (!last.ok || !first.ok) continue;
+    dsl::TableLine t1 = dsl::parse_table_line(last.line, d, /*require_padding=*/false);
+    dsl::TableLine t2 = dsl::parse_table_line(first.line, d, /*require_padding=*/false);
+    if (!t1.ok || !t2.ok) continue;
+    if (t1.tail != t2.tail) continue;
+    out.push_back({std::string(t1.head), std::string(t2.head), ""});
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_delim_or_zero(char c) noexcept {
+  if (c == '0') return true;
+  for (char d : dsl::kDelims)
+    if (c == d) return true;
+  return false;
+}
+
+bool has_significant_char(std::string_view s) noexcept {
+  for (char c : s)
+    if (!is_delim_or_zero(c)) return true;
+  return false;
+}
+
+bool e_rec(const std::vector<Observation>& observations) {
+  bool differ = false, sig1 = false, sig2 = false;
+  for (const auto& obs : observations) {
+    if (obs.y1 != obs.y2) differ = true;
+    if (has_significant_char(obs.y1)) sig1 = true;
+    if (has_significant_char(obs.y2)) sig2 = true;
+  }
+  return differ && sig1 && sig2;
+}
+
+std::optional<char> table_delimiter(
+    const std::vector<Observation>& observations) {
+  for (char d : {' ', '\t', ','}) {
+    bool ok = true;
+    bool any_line = false;
+    for (const auto& obs : observations) {
+      for (std::string_view y :
+           {std::string_view(obs.y1), std::string_view(obs.y2),
+            std::string_view(obs.y12)}) {
+        for (std::string_view line : text::lines(y)) {
+          if (line.empty()) continue;
+          any_line = true;
+          dsl::TableLine t = dsl::parse_table_line(line, d, /*require_padding=*/false);
+          if (!t.ok) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (!ok) break;
+    }
+    if (ok && any_line) return d;
+  }
+  return std::nullopt;
+}
+
+bool t_pred(const std::vector<Observation>& observations) {
+  return table_delimiter(observations).has_value();
+}
+
+bool e_struct(const std::vector<Observation>& observations) {
+  BoundaryWitness w = boundary_witness(observations);
+  if (!w.found || !w.next_line_nonempty) return false;
+  auto d = table_delimiter(observations);
+  if (!d) return true;  // T(Y) false: second clause vacuous
+  return e_rec(deformatted_heads(observations, *d));
+}
+
+std::optional<bool> e_representative(
+    const dsl::Combiner& g, const std::vector<Observation>& observations) {
+  const dsl::Node& n = *g.node;
+  switch (dsl::op_class(n.op)) {
+    case dsl::OpClass::kRec:
+      return e_rec_node(n, observations);
+    case dsl::OpClass::kStruct: {
+      // Representatives: stitch first, stitch2 d add first, offset d add.
+      BoundaryWitness w = boundary_witness(observations);
+      if (n.op == dsl::Op::kStitch) {
+        if (!w.found) return false;
+        // Clause (2) of E(g_sf): if the outputs are table-shaped, a
+        // differing-heads witness is required.
+        auto d = table_delimiter(observations);
+        if (!d) return true;
+        for (const auto& obs : deformatted_heads(observations, *d))
+          if (obs.y1 != obs.y2) return true;
+        // Same-tail rows always had equal heads: insufficient.
+        return false;
+      }
+      if (n.op == dsl::Op::kStitch2) return w.found;
+      if (n.op == dsl::Op::kOffset) {
+        auto d = table_delimiter(observations);
+        if (!d) return false;
+        return e_add(deformatted_heads(observations, *d));
+      }
+      return std::nullopt;
+    }
+    case dsl::OpClass::kRun:
+      return std::nullopt;  // not defined for RunOp (Definition B.12)
+  }
+  return std::nullopt;
+}
+
+SufficiencyReport certify(const std::vector<dsl::Combiner>& surviving,
+                          const std::vector<Observation>& observations) {
+  SufficiencyReport report;
+  report.e_rec_holds = e_rec(observations);
+  report.e_struct_holds = e_struct(observations);
+  report.is_table = t_pred(observations);
+
+  bool any_rec = false, any_struct = false;
+  for (const dsl::Combiner& g : surviving) {
+    if (g.cls() == dsl::OpClass::kRec) any_rec = true;
+    if (g.cls() == dsl::OpClass::kStruct) any_struct = true;
+  }
+  if (any_rec && report.e_rec_holds) {
+    report.verdict = "rec-certified";
+  } else if (any_struct && report.e_struct_holds) {
+    report.verdict = "struct-certified";
+  } else {
+    report.verdict = "uncertified";
+  }
+  return report;
+}
+
+}  // namespace kq::synth

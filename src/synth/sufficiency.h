@@ -1,0 +1,82 @@
+// Sufficiency predicates from Appendix B (Table 2 and Definitions
+// B.13–B.15): conservative checks that a set of observations carries
+// enough evidence for the synthesis theorems to apply.
+//
+//  * E(g, Y)    — Table 2's per-representative conditions: when the
+//                 correct combiner is g, Y suffices to eliminate every
+//                 inequivalent candidate of g's class.
+//  * E_rec(Y)   — Definition B.13: sufficiency for any correct g ∈ G_rec.
+//  * T(Y)       — Definition B.14: Y is interpretable as a table
+//                 (pad ++ head ++ d ++ tail rows).
+//  * E_struct(Y)— Definition B.15: sufficiency for any correct
+//                 g ∈ G_struct.
+//
+// The synthesizer does not need these to run (Algorithm 1 only filters),
+// but they turn Theorems 2/4 into machine-checkable certificates: when
+// E_rec(f(X)) holds and a RecOp candidate survives, every surviving RecOp
+// candidate is equivalent-by-intersection to the correct combiner. The
+// certification API below is used by tests and by diagnostics in the
+// synthesis report.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "dsl/ast.h"
+#include "synth/observation.h"
+
+namespace kq::synth {
+
+// Delimiter-or-zero characters: the theorems require witnessing characters
+// outside Delim ∪ {'0'} (Definitions B.13/B.15).
+bool is_delim_or_zero(char c) noexcept;
+
+// True iff `s` contains a character outside Delim ∪ {'0'}.
+bool has_significant_char(std::string_view s) noexcept;
+
+// --- Definition B.13 -----------------------------------------------------
+// E_rec(Y): (1) some observation has y1 != y2; (2) some y1 has a
+// significant character; (3) some y2 has a significant character.
+bool e_rec(const std::vector<Observation>& observations);
+
+// --- Definition B.14 -----------------------------------------------------
+// T(Y): there exist a padding style and a delimiter d such that every line
+// of every y1, y2, y12 is nil or of the form pad ++ head ++ d ++ tail.
+// Returns the witnessing delimiter, or nullopt.
+std::optional<char> table_delimiter(
+    const std::vector<Observation>& observations);
+bool t_pred(const std::vector<Observation>& observations);
+
+// --- Definition B.15 -----------------------------------------------------
+// E_struct(Y): (1) some observation has y1's last line equal to y2's first
+// line, with significant first/last characters, and y2 having a further
+// non-empty line; (2) if T(Y), the deformatted heads satisfy E_rec.
+bool e_struct(const std::vector<Observation>& observations);
+
+// --- Table 2 -------------------------------------------------------------
+// E(g, Y) for the representative combiners of Definition B.11. Returns
+// nullopt when g is not one of the representatives (the predicate is only
+// defined for G_rec ∪ G_struct).
+std::optional<bool> e_representative(
+    const dsl::Combiner& g, const std::vector<Observation>& observations);
+
+// --- Certification -------------------------------------------------------
+// Combines the predicates with the surviving candidate set: when the
+// sufficiency predicate for the surviving class holds, Theorems 2/4
+// guarantee all survivors of that class are ≡∩-equivalent.
+struct SufficiencyReport {
+  bool e_rec_holds = false;
+  bool e_struct_holds = false;
+  bool is_table = false;
+  // The strongest applicable guarantee:
+  //   "rec-certified"    E_rec holds and RecOp candidates survive
+  //   "struct-certified" E_struct holds and StructOp candidates survive
+  //   "uncertified"      neither predicate holds for the surviving class
+  std::string_view verdict = "uncertified";
+};
+
+SufficiencyReport certify(const std::vector<dsl::Combiner>& surviving,
+                          const std::vector<Observation>& observations);
+
+}  // namespace kq::synth

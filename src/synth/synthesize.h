@@ -1,0 +1,88 @@
+// Algorithm 1 (Synthesize): the top-level combiner synthesis loop.
+//
+//   C0 <- AllCandidates(n)
+//   for r = 1, 2, ...:
+//     I_r <- GetEffectiveInputs(f, C_{r-1}, RandomShape())
+//     C_r <- FilterCandidates(f, C_{r-1}, I_r)
+//     if C_r = {}: return nil
+//     if not MakingProgress: return C_r
+//
+// Preprocessing (§3.2) runs first: literal/number extraction, probe-input
+// classification, and delimiter-alphabet inference, which together fix the
+// candidate space and the input-generation mode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsl/enumerate.h"
+#include "prep/probe.h"
+#include "synth/composite.h"
+#include "synth/input_search.h"
+#include "synth/sufficiency.h"
+
+namespace kq::synth {
+
+struct SynthesisConfig {
+  int max_ops = 5;            // candidate size bound (|g| <= max_ops + 2)
+  int max_rounds = 5;         // r limit in Algorithm 1
+  int progress_window = 2;    // rounds without elimination before stopping
+  InputSearchConfig input_search;
+  std::uint64_t seed = 20220402;  // deterministic synthesis by default
+};
+
+struct SynthesisResult {
+  bool success = false;             // at least one plausible combiner
+  std::string failure_reason;       // set when !success
+  std::vector<dsl::Combiner> plausible;  // final C_r
+  CompositeCombiner combiner;            // class-preferred composite
+
+  // Diagnostics for the Table 10 reproduction.
+  dsl::SpaceCounts space;
+  std::vector<char> delims;
+  prep::InputClass input_class = prep::InputClass::kAnyText;
+  int rounds = 0;
+  std::size_t observation_count = 0;
+  double seconds = 0;
+  // Output/input byte ratio over all observations; drives the compiler's
+  // sequential-fallback decision for rerun-only stages (§2).
+  double reduction_ratio = 1.0;
+  // True iff every observed output was newline-terminated or empty — the
+  // precondition of the elimination optimization (Theorem 5).
+  bool outputs_newline_terminated = true;
+  // Appendix B certificate: whether the collected observations satisfy
+  // the sufficiency predicate for the surviving candidate class, in which
+  // case Theorems 2/4 guarantee all survivors are equivalent.
+  SufficiencyReport sufficiency;
+};
+
+// Synthesizes a combiner for black-box command `f`. `argv` (optional)
+// enables script preprocessing; `fs` supplies file names for probe
+// classification (defaults to the global VFS).
+SynthesisResult synthesize(const cmd::Command& f,
+                           const std::vector<std::string>& argv,
+                           const SynthesisConfig& config = {},
+                           const vfs::Vfs* fs = nullptr);
+
+// Memoizing wrapper keyed by the command's display name: the benchmark
+// suite synthesizes each unique command/flag combination once (§4).
+class SynthesisCache {
+ public:
+  const SynthesisResult& get_or_synthesize(const cmd::Command& f,
+                                           const std::vector<std::string>& argv,
+                                           const SynthesisConfig& config = {},
+                                           const vfs::Vfs* fs = nullptr);
+
+  std::size_t size() const { return cache_.size(); }
+  const std::unordered_map<std::string, SynthesisResult>& entries() const {
+    return cache_;
+  }
+
+ private:
+  std::unordered_map<std::string, SynthesisResult> cache_;
+};
+
+}  // namespace kq::synth

@@ -1,0 +1,38 @@
+#include "text/numbers.h"
+
+#include <limits>
+
+namespace kq::text {
+
+bool is_all_digits(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+std::optional<std::uint64_t> parse_digits(std::string_view s) noexcept {
+  if (!is_all_digits(s)) return std::nullopt;
+  std::uint64_t v = 0;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  for (char c : s) {
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (kMax - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::string digits_to_string(std::uint64_t v) { return std::to_string(v); }
+
+std::optional<std::string> add_digit_strings(std::string_view a,
+                                             std::string_view b) {
+  auto ia = parse_digits(a);
+  auto ib = parse_digits(b);
+  if (!ia || !ib) return std::nullopt;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (*ia > kMax - *ib) return std::nullopt;
+  return digits_to_string(*ia + *ib);
+}
+
+}  // namespace kq::text

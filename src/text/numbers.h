@@ -1,0 +1,27 @@
+// Digit-string helpers implementing the paper's strToInt / intToStr for the
+// `add` combiner, whose legal domain is L(add) = [0-9]+ (Definition B.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace kq::text {
+
+// True iff `s` is one or more ASCII digits (the add domain).
+bool is_all_digits(std::string_view s) noexcept;
+
+// strToInt: parses a [0-9]+ string. Returns nullopt on empty input,
+// non-digits, or overflow of uint64.
+std::optional<std::uint64_t> parse_digits(std::string_view s) noexcept;
+
+// intToStr: canonical decimal rendering (no leading zeros).
+std::string digits_to_string(std::uint64_t v);
+
+// Sum of two digit strings rendered canonically, or nullopt if either
+// operand is outside [0-9]+ or the sum overflows.
+std::optional<std::string> add_digit_strings(std::string_view a,
+                                             std::string_view b);
+
+}  // namespace kq::text

@@ -1,0 +1,28 @@
+#include "text/padding.h"
+
+namespace kq::text {
+
+Unpadded del_pad(std::string_view l) noexcept {
+  if (!l.empty() && l.front() == '\t') return {1, true, l.substr(1)};
+  std::size_t i = 0;
+  while (i < l.size() && l[i] == ' ') ++i;
+  return {i, false, l.substr(i)};
+}
+
+std::string add_pad(std::string_view s, std::size_t width) {
+  std::string out;
+  if (s.size() < width) out.assign(width - s.size(), ' ');
+  out.append(s);
+  return out;
+}
+
+std::string pad_to_width(std::string_view combined_head,
+                         std::string_view tail_after_delim, char delim,
+                         std::size_t first_width) {
+  std::string out = add_pad(combined_head, first_width);
+  out.push_back(delim);
+  out.append(tail_after_delim);
+  return out;
+}
+
+}  // namespace kq::text

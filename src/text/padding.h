@@ -1,0 +1,34 @@
+// Padding helpers implementing the paper's delPad / addPad / calcPad
+// (Appendix A). These model the left-padded count column produced by
+// `uniq -c`-style commands: a line is `p ++ h ++ d ++ t` where `p` is a run
+// of spaces (or a single tab), `h` the first field, `t` the rest.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace kq::text {
+
+// delPad: strips the leading padding of `l` and reports how many columns it
+// occupied. A single leading tab counts as padding of width 1 with
+// `tab == true`.
+struct Unpadded {
+  std::size_t pad = 0;        // number of padding characters removed
+  bool tab = false;           // the padding was a single '\t'
+  std::string_view rest;      // the line after padding removal
+};
+Unpadded del_pad(std::string_view l) noexcept;
+
+// addPad: right-aligns `s` in a field of `width` columns using spaces.
+// If `s` is already at least `width` wide, returns it unchanged.
+std::string add_pad(std::string_view s, std::size_t width);
+
+// calcPad: given that the first operand's field (padding plus head) occupied
+// `first_width` columns and the combined head is `combined`, the padding for
+// the combined line keeps the column width stable (the behaviour of
+// `uniq -c` output whose counts stay right-aligned).
+std::string pad_to_width(std::string_view combined_head,
+                         std::string_view tail_after_delim, char delim,
+                         std::size_t first_width);
+
+}  // namespace kq::text

@@ -1,0 +1,103 @@
+#include "text/shellwords.h"
+
+namespace kq::text {
+
+std::optional<std::vector<std::string>> shell_split(std::string_view line) {
+  std::vector<std::string> words;
+  std::string cur;
+  bool in_word = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\n') {
+      if (in_word) {
+        words.push_back(cur);
+        cur.clear();
+        in_word = false;
+      }
+      ++i;
+      continue;
+    }
+    in_word = true;
+    if (c == '\'') {
+      std::size_t close = line.find('\'', i + 1);
+      if (close == std::string_view::npos) return std::nullopt;
+      cur.append(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+    } else if (c == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        char d = line[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\\' && i + 1 < line.size() &&
+            (line[i + 1] == '"' || line[i + 1] == '\\' ||
+             line[i + 1] == '$' || line[i + 1] == '`')) {
+          cur.push_back(line[i + 1]);
+          i += 2;
+        } else {
+          cur.push_back(d);
+          ++i;
+        }
+      }
+      if (!closed) return std::nullopt;
+    } else if (c == '\\' && i + 1 < line.size()) {
+      cur.push_back(line[i + 1]);
+      i += 2;
+    } else {
+      cur.push_back(c);
+      ++i;
+    }
+  }
+  if (in_word) words.push_back(cur);
+  return words;
+}
+
+std::optional<std::vector<std::string>> split_pipeline(std::string_view line) {
+  std::vector<std::string> stages;
+  std::string cur;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == '\'') {
+      std::size_t close = line.find('\'', i + 1);
+      if (close == std::string_view::npos) return std::nullopt;
+      cur.append(line.substr(i, close - i + 1));
+      i = close + 1;
+    } else if (c == '"') {
+      cur.push_back(c);
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        cur.push_back(line[i]);
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          cur.push_back(line[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (line[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) return std::nullopt;
+    } else if (c == '|') {
+      stages.push_back(cur);
+      cur.clear();
+      ++i;
+    } else {
+      cur.push_back(c);
+      ++i;
+    }
+  }
+  stages.push_back(cur);
+  return stages;
+}
+
+}  // namespace kq::text

@@ -1,0 +1,23 @@
+// POSIX-shell word splitting for pipeline command lines.
+//
+// Supports the quoting forms that appear in the benchmark scripts:
+// single quotes (literal), double quotes (literal except \" \\ \$),
+// backslash escapes outside quotes, and whitespace separation. Variable
+// expansion is NOT performed; callers substitute variables before parsing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kq::text {
+
+// Splits a command line into words. Returns nullopt on unterminated quotes.
+std::optional<std::vector<std::string>> shell_split(std::string_view line);
+
+// Splits a pipeline "cmd1 | cmd2 | cmd3" into stage command lines,
+// respecting quotes (a '|' inside quotes does not split).
+std::optional<std::vector<std::string>> split_pipeline(std::string_view line);
+
+}  // namespace kq::text

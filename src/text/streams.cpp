@@ -1,0 +1,100 @@
+#include "text/streams.h"
+
+namespace kq::text {
+
+bool is_stream(std::string_view s) noexcept {
+  return !s.empty() && s.back() == '\n';
+}
+
+std::string ensure_stream(std::string_view s) {
+  std::string out(s);
+  if (!s.empty() && s.back() != '\n') out.push_back('\n');
+  return out;
+}
+
+std::vector<std::string_view> lines(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t pos = s.find('\n', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string unlines(const std::vector<std::string>& ls) {
+  std::string out;
+  std::size_t total = ls.size();
+  for (const auto& l : ls) total += l.size();
+  out.reserve(total);
+  for (const auto& l : ls) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string unlines_views(const std::vector<std::string_view>& ls) {
+  std::string out;
+  std::size_t total = ls.size();
+  for (const auto& l : ls) total += l.size();
+  out.reserve(total);
+  for (const auto& l : ls) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+SplitAt split_first(std::string_view y, char d) noexcept {
+  std::size_t pos = y.find(d);
+  if (pos == std::string_view::npos) return {y, std::nullopt};
+  return {y.substr(0, pos), y.substr(pos + 1)};
+}
+
+SplitAt split_last(std::string_view y, char d) noexcept {
+  std::size_t pos = y.rfind(d);
+  if (pos == std::string_view::npos) return {y, std::nullopt};
+  return {y.substr(0, pos), y.substr(pos + 1)};
+}
+
+LineSplit split_last_line(std::string_view y) noexcept {
+  if (!is_stream(y)) return {};
+  // Drop the final newline, then find the previous newline (if any).
+  std::string_view body = y.substr(0, y.size() - 1);
+  std::size_t pos = body.rfind('\n');
+  if (pos == std::string_view::npos) return {true, {}, body};
+  return {true, y.substr(0, pos + 1), body.substr(pos + 1)};
+}
+
+FirstLineSplit split_first_line(std::string_view y) noexcept {
+  std::size_t pos = y.find('\n');
+  if (pos == std::string_view::npos) return {};
+  return {true, y.substr(0, pos), y.substr(pos + 1)};
+}
+
+NonemptyLineSplit split_last_nonempty_line(std::string_view y) noexcept {
+  if (y.empty()) return {};
+  // Scan backwards over lines.
+  std::string_view s = y;
+  if (s.back() == '\n') s.remove_suffix(1);
+  while (true) {
+    std::size_t pos = s.rfind('\n');
+    std::string_view line =
+        pos == std::string_view::npos ? s : s.substr(pos + 1);
+    if (!line.empty()) {
+      std::size_t head_len =
+          pos == std::string_view::npos ? 0 : pos + 1;
+      return {true, y.substr(0, head_len), line};
+    }
+    if (pos == std::string_view::npos) return {};
+    s = s.substr(0, pos);
+  }
+}
+
+}  // namespace kq::text

@@ -1,0 +1,38 @@
+// Factories for the built-in command substrate. Each factory parses its own
+// argv (argv[0] is the program name) and returns nullptr with *error set if
+// the flag combination is not supported. The supported combinations cover
+// every command/flag pair in the paper's benchmark suite (Table 10 and
+// Table 9) plus common nearby variants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "unixcmd/command.h"
+#include "vfs/vfs.h"
+
+namespace kq::cmd {
+
+using Argv = std::vector<std::string>;
+
+CommandPtr make_cat(const Argv& argv, const vfs::Vfs* fs, std::string* error);
+CommandPtr make_tr(const Argv& argv, std::string* error);
+CommandPtr make_sort(const Argv& argv, std::string* error);
+CommandPtr make_uniq(const Argv& argv, std::string* error);
+CommandPtr make_wc(const Argv& argv, std::string* error);
+CommandPtr make_grep(const Argv& argv, std::string* error);
+CommandPtr make_cut(const Argv& argv, std::string* error);
+CommandPtr make_sed(const Argv& argv, std::string* error);
+CommandPtr make_awk(const Argv& argv, std::string* error);
+CommandPtr make_head(const Argv& argv, std::string* error);
+CommandPtr make_tail(const Argv& argv, std::string* error);
+CommandPtr make_comm(const Argv& argv, const vfs::Vfs* fs, std::string* error);
+CommandPtr make_xargs(const Argv& argv, const vfs::Vfs* fs,
+                      std::string* error);
+CommandPtr make_col(const Argv& argv, std::string* error);
+CommandPtr make_paste(const Argv& argv, std::string* error);
+CommandPtr make_fmt(const Argv& argv, std::string* error);
+CommandPtr make_rev(const Argv& argv, std::string* error);
+CommandPtr make_iconv(const Argv& argv, std::string* error);
+
+}  // namespace kq::cmd

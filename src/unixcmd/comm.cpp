@@ -1,0 +1,119 @@
+// Built-in `comm`: compares two sorted inputs line by line. The pipeline
+// form used by the benchmarks is `comm -23 - dictfile`: stdin as file 1, a
+// dictionary from the (virtual) file system as file 2, suppressing columns
+// 2 and 3 so only lines unique to stdin remain — the `spell` idiom.
+//
+// Like the paper's probe classification expects (§3.2 "Preprocessing"),
+// unsorted input produces a non-zero exit status and an error message.
+
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+int raw_compare(std::string_view a, std::string_view b) {
+  std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned char ca = static_cast<unsigned char>(a[i]);
+    unsigned char cb = static_cast<unsigned char>(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+class CommCommand final : public Command {
+ public:
+  CommCommand(std::string name, bool show1, bool show2, bool show3,
+              std::string file2_name, const vfs::Vfs* fs)
+      : Command(std::move(name)), show1_(show1), show2_(show2),
+        show3_(show3), file2_name_(std::move(file2_name)), fs_(fs) {}
+
+  Result execute(std::string_view input) const override {
+    auto file2 = fs_->read(file2_name_);
+    if (!file2) {
+      return {"", 1, "comm: " + file2_name_ + ": no such file"};
+    }
+    auto a = text::lines(input);
+    auto b = text::lines(*file2);
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      if (raw_compare(a[i - 1], a[i]) > 0)
+        return {"", 1, "comm: file 1 is not in sorted order"};
+    }
+    std::string out;
+    std::string col2_prefix = show1_ ? "\t" : "";
+    std::string col3_prefix;
+    if (show1_) col3_prefix += "\t";
+    if (show2_) col3_prefix += "\t";
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      int c;
+      if (i >= a.size()) c = 1;
+      else if (j >= b.size()) c = -1;
+      else c = raw_compare(a[i], b[j]);
+      if (c < 0) {
+        if (show1_) {
+          out += a[i];
+          out.push_back('\n');
+        }
+        ++i;
+      } else if (c > 0) {
+        if (show2_) {
+          out += col2_prefix;
+          out += b[j];
+          out.push_back('\n');
+        }
+        ++j;
+      } else {
+        if (show3_) {
+          out += col3_prefix;
+          out += a[i];
+          out.push_back('\n');
+        }
+        ++i;
+        ++j;
+      }
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  bool show1_, show2_, show3_;
+  std::string file2_name_;
+  const vfs::Vfs* fs_;
+};
+
+}  // namespace
+
+CommandPtr make_comm(const Argv& argv, const vfs::Vfs* fs,
+                     std::string* error) {
+  bool show1 = true, show2 = true, show3 = true;
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.size() >= 2 && a[0] == '-' && a != "-") {
+      for (std::size_t j = 1; j < a.size(); ++j) {
+        switch (a[j]) {
+          case '1': show1 = false; break;
+          case '2': show2 = false; break;
+          case '3': show3 = false; break;
+          default:
+            if (error) *error = "comm: unsupported flag";
+            return nullptr;
+        }
+      }
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2 || files[0] != "-") {
+    if (error) *error = "comm: expected `comm [-123] - FILE`";
+    return nullptr;
+  }
+  if (!fs) fs = &vfs::Vfs::global();
+  return std::make_shared<CommCommand>(argv_to_display(argv), show1, show2,
+                                       show3, files[1], fs);
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,39 @@
+#include "unixcmd/command.h"
+
+namespace kq::cmd {
+
+std::string argv_to_display(const std::vector<std::string>& argv) {
+  std::string out;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    const std::string& w = argv[i];
+    bool needs_quote = w.empty();
+    for (char c : w) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\'' || c == '"' ||
+          c == '\\' || c == '|' || c == '$' || c == '*' || c == '(' ||
+          c == ')' || c == ';' || c == '&') {
+        needs_quote = true;
+        break;
+      }
+    }
+    if (!needs_quote) {
+      out += w;
+      continue;
+    }
+    // Single-quote, escaping embedded single quotes and newlines readably.
+    out.push_back('\'');
+    for (char c : w) {
+      if (c == '\'') {
+        out += "'\\''";
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('\'');
+  }
+  return out;
+}
+
+}  // namespace kq::cmd

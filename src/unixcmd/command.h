@@ -1,0 +1,79 @@
+// The black-box command abstraction at the heart of KumQuat (Definition
+// 3.2): a command is a deterministic function from input stream to output
+// stream. The synthesizer, runtime, and compiler only ever interact with
+// commands through this interface, which enforces the paper's black-box
+// assumption by construction.
+//
+// Implementations must be thread-safe: the parallel runtime calls
+// `execute` concurrently from multiple worker threads on one instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kq::cmd {
+
+// The outcome of running a command on an input stream. `status != 0`
+// models a Unix command exiting with an error (used by preprocessing's
+// probe-input classification, §3.2); `out` still carries any partial
+// output the command produced.
+struct Result {
+  std::string out;
+  int status = 0;
+  std::string err;
+
+  bool ok() const { return status == 0; }
+};
+
+class Command {
+ public:
+  virtual ~Command() = default;
+
+  Command(const Command&) = delete;
+  Command& operator=(const Command&) = delete;
+
+  // The command line this instance models, e.g. "tr -cs A-Za-z '\n'".
+  const std::string& display_name() const { return display_name_; }
+
+  // Runs the command on `input`, producing output and an exit status.
+  virtual Result execute(std::string_view input) const = 0;
+
+  // Convenience wrapper for the common success path.
+  std::string run(std::string_view input) const { return execute(input).out; }
+
+ protected:
+  explicit Command(std::string display_name)
+      : display_name_(std::move(display_name)) {}
+
+ private:
+  std::string display_name_;
+};
+
+using CommandPtr = std::shared_ptr<const Command>;
+
+// Renders argv back into a display string (quoting words with spaces or
+// backslashes so the name round-trips through the pipeline parser).
+std::string argv_to_display(const std::vector<std::string>& argv);
+
+// Wraps a C++ callable as a Command; handy in tests and examples.
+template <typename Fn>
+class LambdaCommand final : public Command {
+ public:
+  LambdaCommand(std::string name, Fn fn)
+      : Command(std::move(name)), fn_(std::move(fn)) {}
+  Result execute(std::string_view input) const override {
+    return Result{fn_(input), 0, {}};
+  }
+
+ private:
+  Fn fn_;
+};
+
+template <typename Fn>
+CommandPtr make_lambda_command(std::string name, Fn fn) {
+  return std::make_shared<LambdaCommand<Fn>>(std::move(name), std::move(fn));
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,161 @@
+// Built-in `cut`: -c LIST for character positions and -d CHAR -f LIST for
+// fields. Like GNU cut, selected positions are emitted in input order
+// (specifying `-f 3,1` yields fields 1 then 3) and lines without the field
+// delimiter pass through whole unless -s is given.
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "text/streams.h"
+#include "text/strings.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+struct Range {
+  std::size_t lo;  // 1-based, inclusive
+  std::size_t hi;  // inclusive; npos = open-ended
+};
+
+std::optional<std::vector<Range>> parse_list(std::string_view list) {
+  std::vector<Range> out;
+  for (std::string_view part : text::split(list, ',')) {
+    if (part.empty()) return std::nullopt;
+    std::size_t dash = part.find('-');
+    auto parse_num = [](std::string_view s) -> std::optional<std::size_t> {
+      if (s.empty()) return std::nullopt;
+      std::size_t v = 0;
+      for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+        v = v * 10 + static_cast<std::size_t>(c - '0');
+      }
+      return v;
+    };
+    if (dash == std::string_view::npos) {
+      auto n = parse_num(part);
+      if (!n || *n == 0) return std::nullopt;
+      out.push_back({*n, *n});
+    } else {
+      std::string_view lo_s = part.substr(0, dash);
+      std::string_view hi_s = part.substr(dash + 1);
+      std::size_t lo = 1, hi = std::string_view::npos;
+      if (!lo_s.empty()) {
+        auto n = parse_num(lo_s);
+        if (!n || *n == 0) return std::nullopt;
+        lo = *n;
+      }
+      if (!hi_s.empty()) {
+        auto n = parse_num(hi_s);
+        if (!n || *n == 0) return std::nullopt;
+        hi = *n;
+      }
+      if (hi != std::string_view::npos && hi < lo) return std::nullopt;
+      out.push_back({lo, hi});
+    }
+  }
+  return out;
+}
+
+bool selected(const std::vector<Range>& ranges, std::size_t pos) {
+  for (const Range& r : ranges)
+    if (pos >= r.lo && pos <= r.hi) return true;
+  return false;
+}
+
+class CutCommand final : public Command {
+ public:
+  CutCommand(std::string name, bool by_chars, char delim,
+             std::vector<Range> ranges, bool only_delimited)
+      : Command(std::move(name)), by_chars_(by_chars), delim_(delim),
+        ranges_(std::move(ranges)), only_delimited_(only_delimited) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size());
+    for (std::string_view line : text::lines(input)) {
+      if (by_chars_) {
+        for (std::size_t i = 0; i < line.size(); ++i)
+          if (selected(ranges_, i + 1)) out.push_back(line[i]);
+      } else {
+        if (line.find(delim_) == std::string_view::npos) {
+          if (!only_delimited_) out += line;
+          if (!only_delimited_) out.push_back('\n');
+          continue;
+        }
+        auto fields = text::split(line, delim_);
+        bool first = true;
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+          if (!selected(ranges_, i + 1)) continue;
+          if (!first) out.push_back(delim_);
+          out += fields[i];
+          first = false;
+        }
+      }
+      out.push_back('\n');
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  bool by_chars_;
+  char delim_;
+  std::vector<Range> ranges_;
+  bool only_delimited_;
+};
+
+}  // namespace
+
+CommandPtr make_cut(const Argv& argv, std::string* error) {
+  std::optional<std::string> char_list, field_list;
+  char delim = '\t';
+  bool only_delimited = false;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    auto take_value = [&](std::string_view flag) -> std::optional<std::string> {
+      if (a.size() > flag.size()) return a.substr(flag.size());
+      if (i + 1 < argv.size()) return argv[++i];
+      return std::nullopt;
+    };
+    if (a.rfind("-c", 0) == 0) {
+      char_list = take_value("-c");
+      if (!char_list) {
+        if (error) *error = "cut: missing -c list";
+        return nullptr;
+      }
+    } else if (a.rfind("-f", 0) == 0) {
+      field_list = take_value("-f");
+      if (!field_list) {
+        if (error) *error = "cut: missing -f list";
+        return nullptr;
+      }
+    } else if (a.rfind("-d", 0) == 0) {
+      auto v = take_value("-d");
+      if (!v || v->size() != 1) {
+        if (error) *error = "cut: delimiter must be a single character";
+        return nullptr;
+      }
+      delim = (*v)[0];
+    } else if (a == "-s") {
+      only_delimited = true;
+    } else {
+      if (error) *error = "cut: unsupported flag " + a;
+      return nullptr;
+    }
+  }
+  if (char_list.has_value() == field_list.has_value()) {
+    if (error) *error = "cut: exactly one of -c / -f required";
+    return nullptr;
+  }
+  auto ranges = parse_list(char_list ? *char_list : *field_list);
+  if (!ranges) {
+    if (error) *error = "cut: bad list";
+    return nullptr;
+  }
+  return std::make_shared<CutCommand>(argv_to_display(argv),
+                                      char_list.has_value(), delim,
+                                      std::move(*ranges), only_delimited);
+}
+
+}  // namespace kq::cmd

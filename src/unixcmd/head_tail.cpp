@@ -1,0 +1,152 @@
+// Built-in `head` and `tail`. head: default 10 lines, -N, -n N.
+// tail: -n N (last N lines), +N / -n +N (from line N onward, the form whose
+// combiner provably does not exist — Table 9).
+
+#include <cctype>
+#include <optional>
+
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+std::optional<long> parse_count(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  long v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+class HeadCommand final : public Command {
+ public:
+  HeadCommand(std::string name, long n) : Command(std::move(name)), n_(n) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    long emitted = 0;
+    for (std::string_view line : text::lines(input)) {
+      if (emitted >= n_) break;
+      out += line;
+      out.push_back('\n');
+      ++emitted;
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  long n_;
+};
+
+class TailCommand final : public Command {
+ public:
+  // from_line > 0: `tail +N` (output starting at line N).
+  // last_n >= 0: `tail -n N` (output the final N lines).
+  TailCommand(std::string name, long from_line, long last_n)
+      : Command(std::move(name)), from_line_(from_line), last_n_(last_n) {}
+
+  Result execute(std::string_view input) const override {
+    auto ls = text::lines(input);
+    std::string out;
+    std::size_t begin = 0;
+    if (from_line_ > 0) {
+      begin = static_cast<std::size_t>(from_line_ - 1);
+    } else if (ls.size() > static_cast<std::size_t>(last_n_)) {
+      begin = ls.size() - static_cast<std::size_t>(last_n_);
+    }
+    for (std::size_t i = begin; i < ls.size(); ++i) {
+      out += ls[i];
+      out.push_back('\n');
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  long from_line_;
+  long last_n_;
+};
+
+}  // namespace
+
+CommandPtr make_head(const Argv& argv, std::string* error) {
+  long n = 10;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a == "-n") {
+      if (i + 1 >= argv.size()) {
+        if (error) *error = "head: -n needs a count";
+        return nullptr;
+      }
+      auto v = parse_count(argv[++i]);
+      if (!v) {
+        if (error) *error = "head: bad count";
+        return nullptr;
+      }
+      n = *v;
+    } else if (a.size() >= 2 && a[0] == '-') {
+      auto v = parse_count(a.substr(1));
+      if (!v) {
+        if (error) *error = "head: unsupported flag " + a;
+        return nullptr;
+      }
+      n = *v;
+    } else {
+      if (error) *error = "head: file operands not supported";
+      return nullptr;
+    }
+  }
+  return std::make_shared<HeadCommand>(argv_to_display(argv), n);
+}
+
+CommandPtr make_tail(const Argv& argv, std::string* error) {
+  long from_line = 0, last_n = 10;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a == "-n") {
+      if (i + 1 >= argv.size()) {
+        if (error) *error = "tail: -n needs a count";
+        return nullptr;
+      }
+      const std::string& v = argv[++i];
+      if (!v.empty() && v[0] == '+') {
+        auto n = parse_count(v.substr(1));
+        if (!n) {
+          if (error) *error = "tail: bad count";
+          return nullptr;
+        }
+        from_line = *n;
+      } else {
+        auto n = parse_count(v);
+        if (!n) {
+          if (error) *error = "tail: bad count";
+          return nullptr;
+        }
+        last_n = *n;
+      }
+    } else if (!a.empty() && a[0] == '+') {
+      auto n = parse_count(a.substr(1));
+      if (!n) {
+        if (error) *error = "tail: bad count";
+        return nullptr;
+      }
+      from_line = *n;
+    } else if (a.size() >= 2 && a[0] == '-') {
+      auto n = parse_count(a.substr(1));
+      if (!n) {
+        if (error) *error = "tail: unsupported flag " + a;
+        return nullptr;
+      }
+      last_n = *n;
+    } else {
+      if (error) *error = "tail: file operands not supported";
+      return nullptr;
+    }
+  }
+  return std::make_shared<TailCommand>(argv_to_display(argv), from_line,
+                                       last_n);
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,336 @@
+// Small built-in commands: cat, rev, col -bx, fmt -wN, iconv //TRANSLIT.
+
+#include <array>
+#include <cctype>
+
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+class CatCommand final : public Command {
+ public:
+  CatCommand(std::string name, std::vector<std::string> files,
+             const vfs::Vfs* fs)
+      : Command(std::move(name)), files_(std::move(files)), fs_(fs) {}
+
+  Result execute(std::string_view input) const override {
+    if (files_.empty()) return {std::string(input), 0, {}};
+    std::string out;
+    int status = 0;
+    std::string err;
+    for (const std::string& name : files_) {
+      if (name == "-") {
+        out += input;
+        continue;
+      }
+      auto contents = fs_->read(name);
+      if (!contents) {
+        status = 1;
+        err += "cat: " + name + ": No such file or directory\n";
+        continue;
+      }
+      out += *contents;
+    }
+    return {std::move(out), status, std::move(err)};
+  }
+
+ private:
+  std::vector<std::string> files_;
+  const vfs::Vfs* fs_;
+};
+
+class RevCommand final : public Command {
+ public:
+  explicit RevCommand(std::string name) : Command(std::move(name)) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size());
+    for (std::string_view line : text::lines(input)) {
+      out.append(line.rbegin(), line.rend());
+      out.push_back('\n');
+    }
+    return {std::move(out), 0, {}};
+  }
+};
+
+// col -b: resolve backspace overstrikes (keep the final character);
+// col -x: expand tabs to the next multiple of 8.
+class ColCommand final : public Command {
+ public:
+  ColCommand(std::string name, bool no_backspace, bool expand_tabs)
+      : Command(std::move(name)), no_backspace_(no_backspace),
+        expand_tabs_(expand_tabs) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size());
+    std::size_t column = 0;
+    for (char c : input) {
+      if (c == '\b' && no_backspace_) {
+        if (!out.empty() && out.back() != '\n') {
+          out.pop_back();
+          if (column > 0) --column;
+        }
+        continue;
+      }
+      if (c == '\t' && expand_tabs_) {
+        std::size_t next = (column / 8 + 1) * 8;
+        out.append(next - column, ' ');
+        column = next;
+        continue;
+      }
+      out.push_back(c);
+      column = c == '\n' ? 0 : column + 1;
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  bool no_backspace_;
+  bool expand_tabs_;
+};
+
+// fmt -wN: greedy refill of words into lines at most N columns wide (a long
+// word occupies its own line), with blank lines preserved as paragraph
+// separators. fmt -w1 therefore emits one word per line, the idiom the
+// benchmarks use. GNU fmt's indentation-sensitive paragraph detection is
+// intentionally not modelled: the benchmark pipelines feed fmt
+// machine-generated non-indented text (see tests/crossval_test.cpp).
+class FmtCommand final : public Command {
+ public:
+  FmtCommand(std::string name, std::size_t width)
+      : Command(std::move(name)), width_(width) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size());
+    std::string current;
+    auto flush = [&] {
+      if (!current.empty()) {
+        out += current;
+        out.push_back('\n');
+        current.clear();
+      }
+    };
+    for (std::string_view line : text::lines(input)) {
+      if (line.find_first_not_of(" \t") == std::string_view::npos) {
+        flush();
+        out.push_back('\n');  // blank line separates paragraphs
+        continue;
+      }
+      std::size_t i = 0;
+      while (i < line.size()) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+        if (i >= line.size()) break;
+        std::size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+        std::string_view word = line.substr(start, i - start);
+        if (current.empty()) {
+          current = word;
+        } else if (current.size() + 1 + word.size() <= width_) {
+          current.push_back(' ');
+          current += word;
+        } else {
+          flush();
+          current = word;
+        }
+      }
+    }
+    flush();
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  std::size_t width_;
+};
+
+// iconv -f utf-8 -t ascii//translit: transliterate Latin-1-range accented
+// letters to their base ASCII letter; other multi-byte sequences become '?'.
+class IconvTranslitCommand final : public Command {
+ public:
+  explicit IconvTranslitCommand(std::string name)
+      : Command(std::move(name)) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    out.reserve(input.size());
+    std::size_t i = 0;
+    while (i < input.size()) {
+      unsigned char c = static_cast<unsigned char>(input[i]);
+      if (c < 0x80) {
+        out.push_back(static_cast<char>(c));
+        ++i;
+        continue;
+      }
+      // Decode a UTF-8 sequence (2-4 bytes); map U+00C0..U+00FF to ASCII.
+      unsigned cp = 0;
+      std::size_t len = 0;
+      if ((c & 0xE0) == 0xC0) {
+        cp = c & 0x1Fu;
+        len = 2;
+      } else if ((c & 0xF0) == 0xE0) {
+        cp = c & 0x0Fu;
+        len = 3;
+      } else if ((c & 0xF8) == 0xF0) {
+        cp = c & 0x07u;
+        len = 4;
+      } else {
+        out.push_back('?');
+        ++i;
+        continue;
+      }
+      if (i + len > input.size()) {
+        out.push_back('?');
+        ++i;
+        continue;
+      }
+      bool valid = true;
+      for (std::size_t j = 1; j < len; ++j) {
+        unsigned char cc = static_cast<unsigned char>(input[i + j]);
+        if ((cc & 0xC0) != 0x80) {
+          valid = false;
+          break;
+        }
+        cp = (cp << 6) | (cc & 0x3Fu);
+      }
+      if (!valid) {
+        out.push_back('?');
+        ++i;
+        continue;
+      }
+      out += translit(cp);
+      i += len;
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  static std::string translit(unsigned cp) {
+    struct Entry {
+      unsigned lo, hi;
+      const char* text;
+    };
+    static constexpr Entry kTable[] = {
+        {0xC0, 0xC5, "A"}, {0xC6, 0xC6, "AE"}, {0xC7, 0xC7, "C"},
+        {0xC8, 0xCB, "E"}, {0xCC, 0xCF, "I"},  {0xD1, 0xD1, "N"},
+        {0xD2, 0xD6, "O"}, {0xD8, 0xD8, "O"},  {0xD9, 0xDC, "U"},
+        {0xDD, 0xDD, "Y"}, {0xDF, 0xDF, "ss"}, {0xE0, 0xE5, "a"},
+        {0xE6, 0xE6, "ae"}, {0xE7, 0xE7, "c"}, {0xE8, 0xEB, "e"},
+        {0xEC, 0xEF, "i"}, {0xF1, 0xF1, "n"},  {0xF2, 0xF6, "o"},
+        {0xF8, 0xF8, "o"}, {0xF9, 0xFC, "u"},  {0xFD, 0xFD, "y"},
+        {0xFF, 0xFF, "y"}, {0x2018, 0x2019, "'"}, {0x201C, 0x201D, "\""},
+        {0x2013, 0x2014, "-"},
+    };
+    for (const Entry& e : kTable)
+      if (cp >= e.lo && cp <= e.hi) return e.text;
+    return "?";
+  }
+};
+
+}  // namespace
+
+CommandPtr make_cat(const Argv& argv, const vfs::Vfs* fs,
+                    std::string* error) {
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i].size() >= 2 && argv[i][0] == '-') {
+      if (error) *error = "cat: unsupported flag " + argv[i];
+      return nullptr;
+    }
+    files.push_back(argv[i]);
+  }
+  if (!fs) fs = &vfs::Vfs::global();
+  return std::make_shared<CatCommand>(argv_to_display(argv),
+                                      std::move(files), fs);
+}
+
+CommandPtr make_rev(const Argv& argv, std::string* error) {
+  if (argv.size() != 1) {
+    if (error) *error = "rev: no flags supported";
+    return nullptr;
+  }
+  return std::make_shared<RevCommand>(argv_to_display(argv));
+}
+
+CommandPtr make_col(const Argv& argv, std::string* error) {
+  bool no_backspace = false, expand_tabs = false;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.size() < 2 || a[0] != '-') {
+      if (error) *error = "col: unsupported operand " + a;
+      return nullptr;
+    }
+    for (std::size_t j = 1; j < a.size(); ++j) {
+      switch (a[j]) {
+        case 'b': no_backspace = true; break;
+        case 'x': expand_tabs = true; break;
+        default:
+          if (error) *error = "col: unsupported flag";
+          return nullptr;
+      }
+    }
+  }
+  return std::make_shared<ColCommand>(argv_to_display(argv), no_backspace,
+                                      expand_tabs);
+}
+
+CommandPtr make_fmt(const Argv& argv, std::string* error) {
+  std::size_t width = 75;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.rfind("-w", 0) == 0 && a.size() > 2) {
+      width = 0;
+      for (std::size_t j = 2; j < a.size(); ++j) {
+        if (!std::isdigit(static_cast<unsigned char>(a[j]))) {
+          if (error) *error = "fmt: bad width";
+          return nullptr;
+        }
+        width = width * 10 + static_cast<std::size_t>(a[j] - '0');
+      }
+    } else if (a == "-w" && i + 1 < argv.size()) {
+      width = 0;
+      for (char c : argv[++i]) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          if (error) *error = "fmt: bad width";
+          return nullptr;
+        }
+        width = width * 10 + static_cast<std::size_t>(c - '0');
+      }
+    } else {
+      if (error) *error = "fmt: unsupported flag " + a;
+      return nullptr;
+    }
+  }
+  return std::make_shared<FmtCommand>(argv_to_display(argv), width);
+}
+
+CommandPtr make_iconv(const Argv& argv, std::string* error) {
+  // Accept `iconv -f utf-8 -t ascii//translit` (case-insensitive target).
+  std::string from, to;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a == "-f" && i + 1 < argv.size()) from = argv[++i];
+    else if (a == "-t" && i + 1 < argv.size()) to = argv[++i];
+    else if (a.rfind("-f", 0) == 0) from = a.substr(2);
+    else if (a.rfind("-t", 0) == 0) to = a.substr(2);
+    else {
+      if (error) *error = "iconv: unsupported flag " + a;
+      return nullptr;
+    }
+  }
+  auto lower = [](std::string s) {
+    for (char& c : s)
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+  };
+  if (lower(from) != "utf-8" || lower(to) != "ascii//translit") {
+    if (error) *error = "iconv: only utf-8 -> ascii//translit is supported";
+    return nullptr;
+  }
+  return std::make_shared<IconvTranslitCommand>(argv_to_display(argv));
+}
+
+}  // namespace kq::cmd

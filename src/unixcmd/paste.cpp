@@ -1,0 +1,68 @@
+// Built-in `paste - -` (N dashes): groups consecutive input lines into rows
+// of N columns joined by tabs (or -d's delimiter). This is the bigram idiom
+// from Unix-for-Poets (`paste book shifted_book` approximated in stream
+// form). Its output depends on line positions modulo N, so no combiner in
+// the DSL exists and the stage correctly stays sequential.
+
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+class PasteCommand final : public Command {
+ public:
+  PasteCommand(std::string name, int columns, char delim)
+      : Command(std::move(name)), columns_(columns), delim_(delim) {}
+
+  Result execute(std::string_view input) const override {
+    auto ls = text::lines(input);
+    std::string out;
+    out.reserve(input.size());
+    for (std::size_t i = 0; i < ls.size(); i += static_cast<std::size_t>(
+                                                    columns_)) {
+      for (int c = 0; c < columns_; ++c) {
+        if (c != 0) out.push_back(delim_);
+        std::size_t idx = i + static_cast<std::size_t>(c);
+        if (idx < ls.size()) out += ls[idx];
+      }
+      out.push_back('\n');
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  int columns_;
+  char delim_;
+};
+
+}  // namespace
+
+CommandPtr make_paste(const Argv& argv, std::string* error) {
+  int columns = 0;
+  char delim = '\t';
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a == "-d" && i + 1 < argv.size()) {
+      const std::string& d = argv[++i];
+      if (d.size() != 1) {
+        if (error) *error = "paste: delimiter must be one character";
+        return nullptr;
+      }
+      delim = d[0];
+    } else if (a == "-") {
+      ++columns;
+    } else {
+      if (error) *error = "paste: only `paste [-d C] - -...` is supported";
+      return nullptr;
+    }
+  }
+  if (columns < 2) {
+    if (error) *error = "paste: need at least two '-' operands";
+    return nullptr;
+  }
+  return std::make_shared<PasteCommand>(argv_to_display(argv), columns,
+                                        delim);
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,67 @@
+#include "unixcmd/registry.h"
+
+#include "text/shellwords.h"
+#include "unixcmd/builtins.h"
+#include "unixcmd/sort_cmd.h"
+
+namespace kq::cmd {
+
+CommandPtr make_command(const std::vector<std::string>& argv,
+                        std::string* error, const vfs::Vfs* fs) {
+  if (argv.empty()) {
+    if (error) *error = "empty command";
+    return nullptr;
+  }
+  // Strip a leading path (e.g. /usr/bin/tr).
+  std::string prog = argv[0];
+  if (auto slash = prog.rfind('/'); slash != std::string::npos)
+    prog = prog.substr(slash + 1);
+
+  if (prog == "cat") return make_cat(argv, fs, error);
+  if (prog == "tr") return make_tr(argv, error);
+  if (prog == "sort") return make_sort_command(argv, error);
+  if (prog == "uniq") return make_uniq(argv, error);
+  if (prog == "wc") return make_wc(argv, error);
+  if (prog == "grep") return make_grep(argv, error);
+  if (prog == "cut") return make_cut(argv, error);
+  if (prog == "sed") return make_sed(argv, error);
+  if (prog == "awk" || prog == "gawk" || prog == "mawk")
+    return make_awk(argv, error);
+  if (prog == "head") return make_head(argv, error);
+  if (prog == "tail") return make_tail(argv, error);
+  if (prog == "comm") return make_comm(argv, fs, error);
+  if (prog == "xargs") return make_xargs(argv, fs, error);
+  if (prog == "col") return make_col(argv, error);
+  if (prog == "paste") return make_paste(argv, error);
+  if (prog == "fmt") return make_fmt(argv, error);
+  if (prog == "rev") return make_rev(argv, error);
+  if (prog == "iconv") return make_iconv(argv, error);
+
+  if (error) *error = "unknown command: " + prog;
+  return nullptr;
+}
+
+CommandPtr make_command_line(std::string_view command_line, std::string* error,
+                             const vfs::Vfs* fs) {
+  auto words = text::shell_split(command_line);
+  if (!words) {
+    if (error) *error = "unterminated quote in command line";
+    return nullptr;
+  }
+  return make_command(*words, error, fs);
+}
+
+bool is_builtin(std::string_view program) {
+  static constexpr std::string_view kBuiltins[] = {
+      "cat", "tr", "sort", "uniq", "wc", "grep", "cut", "sed", "awk",
+      "gawk", "mawk", "head", "tail", "comm", "xargs", "col", "fmt",
+      "rev", "iconv", "paste"};
+  std::string_view prog = program;
+  if (auto slash = prog.rfind('/'); slash != std::string_view::npos)
+    prog = prog.substr(slash + 1);
+  for (std::string_view b : kBuiltins)
+    if (b == prog) return true;
+  return false;
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,29 @@
+// Maps a parsed argv onto a built-in Command instance. The registry is the
+// single entry point the pipeline compiler uses to instantiate stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "unixcmd/command.h"
+#include "vfs/vfs.h"
+
+namespace kq::cmd {
+
+// Creates a command for `argv` (argv[0] is the program name). Returns
+// nullptr with *error set for unknown programs or unsupported flags.
+// `fs` supplies the virtual file system for file-touching commands
+// (default: vfs::Vfs::global()).
+CommandPtr make_command(const std::vector<std::string>& argv,
+                        std::string* error = nullptr,
+                        const vfs::Vfs* fs = nullptr);
+
+// Convenience: parses `command_line` with shell-word rules first.
+CommandPtr make_command_line(std::string_view command_line,
+                             std::string* error = nullptr,
+                             const vfs::Vfs* fs = nullptr);
+
+// True if `program` names a built-in.
+bool is_builtin(std::string_view program);
+
+}  // namespace kq::cmd

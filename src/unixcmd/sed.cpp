@@ -1,0 +1,197 @@
+// Built-in `sed` for the script forms used by the benchmarks:
+//   [N]s<D>regex<D>replacement<D>[g]   substitute (any delimiter character)
+//   Nq                                 quit after line N (prints 1..N)
+//   Nd  /  $d                          delete line N / the last line
+// Multiple ';'-separated commands are applied left to right per line.
+
+#include <cctype>
+#include <optional>
+
+#include "regex/regex.h"
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+struct SedCommandSpec {
+  enum class Kind { kSubstitute, kQuit, kDelete } kind;
+  // Address: 0 = every line, >0 = that line, -1 = last line ($).
+  long address = 0;
+  std::optional<regex::Regex> re;
+  std::string replacement;
+  bool global = false;
+};
+
+std::optional<std::vector<SedCommandSpec>> parse_script(
+    std::string_view script, std::string* error) {
+  std::vector<SedCommandSpec> cmds;
+  std::size_t i = 0;
+  auto fail = [&](const char* msg) {
+    if (error) *error = std::string("sed: ") + msg;
+    return std::nullopt;
+  };
+  while (i < script.size()) {
+    while (i < script.size() && (script[i] == ';' || script[i] == ' ')) ++i;
+    if (i >= script.size()) break;
+    SedCommandSpec spec{SedCommandSpec::Kind::kSubstitute, 0, std::nullopt,
+                        "", false};
+    // Optional numeric or $ address.
+    if (std::isdigit(static_cast<unsigned char>(script[i]))) {
+      long addr = 0;
+      while (i < script.size() &&
+             std::isdigit(static_cast<unsigned char>(script[i]))) {
+        addr = addr * 10 + (script[i] - '0');
+        ++i;
+      }
+      spec.address = addr;
+    } else if (script[i] == '$') {
+      spec.address = -1;
+      ++i;
+    }
+    if (i >= script.size()) return fail("missing command");
+    char c = script[i];
+    if (c == 'q') {
+      spec.kind = SedCommandSpec::Kind::kQuit;
+      ++i;
+      if (spec.address == 0) return fail("q requires an address");
+      cmds.push_back(std::move(spec));
+      continue;
+    }
+    if (c == 'd') {
+      spec.kind = SedCommandSpec::Kind::kDelete;
+      ++i;
+      if (spec.address == 0) return fail("unaddressed d deletes everything");
+      cmds.push_back(std::move(spec));
+      continue;
+    }
+    if (c == 's') {
+      ++i;
+      if (i >= script.size()) return fail("missing s delimiter");
+      char delim = script[i];
+      ++i;
+      auto read_until_delim = [&](std::string& out) {
+        while (i < script.size() && script[i] != delim) {
+          if (script[i] == '\\' && i + 1 < script.size()) {
+            if (script[i + 1] == delim) {
+              out.push_back(delim);
+              i += 2;
+              continue;
+            }
+            out.push_back(script[i]);
+            out.push_back(script[i + 1]);
+            i += 2;
+            continue;
+          }
+          out.push_back(script[i]);
+          ++i;
+        }
+        if (i >= script.size()) return false;
+        ++i;  // consume delimiter
+        return true;
+      };
+      std::string pattern, replacement;
+      if (!read_until_delim(pattern)) return fail("unterminated s pattern");
+      if (!read_until_delim(replacement))
+        return fail("unterminated s replacement");
+      while (i < script.size() && script[i] != ';') {
+        if (script[i] == 'g') {
+          spec.global = true;
+        } else if (script[i] != ' ') {
+          return fail("unsupported s flag");
+        }
+        ++i;
+      }
+      std::string re_err;
+      auto re = regex::Regex::compile(pattern, &re_err);
+      if (!re) return fail("bad pattern");
+      spec.kind = SedCommandSpec::Kind::kSubstitute;
+      spec.re = std::move(*re);
+      spec.replacement = std::move(replacement);
+      cmds.push_back(std::move(spec));
+      continue;
+    }
+    return fail("unsupported command");
+  }
+  if (cmds.empty()) return fail("empty script");
+  return cmds;
+}
+
+class SedCommand final : public Command {
+ public:
+  SedCommand(std::string name, std::vector<SedCommandSpec> cmds)
+      : Command(std::move(name)), cmds_(std::move(cmds)) {}
+
+  Result execute(std::string_view input) const override {
+    auto ls = text::lines(input);
+    std::string out;
+    out.reserve(input.size());
+    long line_no = 0;
+    for (std::string_view line : ls) {
+      ++line_no;
+      std::string current(line);
+      bool deleted = false;
+      bool quit = false;
+      for (const SedCommandSpec& spec : cmds_) {
+        bool addressed =
+            spec.address == 0 || spec.address == line_no ||
+            (spec.address == -1 &&
+             line_no == static_cast<long>(ls.size()));
+        if (!addressed) continue;
+        switch (spec.kind) {
+          case SedCommandSpec::Kind::kSubstitute:
+            current = spec.re->replace(current, spec.replacement,
+                                       spec.global);
+            break;
+          case SedCommandSpec::Kind::kDelete:
+            deleted = true;
+            break;
+          case SedCommandSpec::Kind::kQuit:
+            quit = true;
+            break;
+        }
+        if (deleted) break;
+      }
+      if (!deleted) {
+        out += current;
+        out.push_back('\n');
+      }
+      if (quit) break;
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  std::vector<SedCommandSpec> cmds_;
+};
+
+}  // namespace
+
+CommandPtr make_sed(const Argv& argv, std::string* error) {
+  std::string script;
+  bool have_script = false;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a == "-e") continue;
+    if (a == "-n" || (a.size() >= 2 && a[0] == '-' && a != "-")) {
+      if (error) *error = "sed: unsupported flag " + a;
+      return nullptr;
+    }
+    if (have_script) {
+      if (error) *error = "sed: file operands not supported";
+      return nullptr;
+    }
+    script = a;
+    have_script = true;
+  }
+  if (!have_script) {
+    if (error) *error = "sed: missing script";
+    return nullptr;
+  }
+  auto cmds = parse_script(script, error);
+  if (!cmds) return nullptr;
+  return std::make_shared<SedCommand>(argv_to_display(argv),
+                                      std::move(*cmds));
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,349 @@
+#include "unixcmd/sort_cmd.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/streams.h"
+
+namespace kq::cmd {
+namespace {
+
+bool is_blank(char c) { return c == ' ' || c == '\t'; }
+
+// GNU-style numeric comparison of string prefixes: optional blanks, optional
+// minus sign, digits, optional fraction. Non-numeric prefixes compare as 0.
+struct NumView {
+  bool negative = false;
+  std::string_view integer;   // leading zeros stripped
+  std::string_view fraction;  // trailing zeros stripped
+  bool zero() const { return integer.empty() && fraction.empty(); }
+};
+
+NumView parse_numeric(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() && is_blank(s[i])) ++i;
+  NumView v;
+  if (i < s.size() && s[i] == '-') {
+    v.negative = true;
+    ++i;
+  }
+  std::size_t int_start = i;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  std::string_view integer = s.substr(int_start, i - int_start);
+  while (!integer.empty() && integer.front() == '0') integer.remove_prefix(1);
+  v.integer = integer;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    std::size_t frac_start = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    std::string_view fraction = s.substr(frac_start, i - frac_start);
+    while (!fraction.empty() && fraction.back() == '0')
+      fraction.remove_suffix(1);
+    v.fraction = fraction;
+  }
+  if (v.zero()) v.negative = false;  // -0 == 0
+  return v;
+}
+
+int numeric_compare(std::string_view a, std::string_view b) {
+  NumView x = parse_numeric(a), y = parse_numeric(b);
+  if (x.negative != y.negative) return x.negative ? -1 : 1;
+  int sign = x.negative ? -1 : 1;
+  if (x.integer.size() != y.integer.size())
+    return sign * (x.integer.size() < y.integer.size() ? -1 : 1);
+  if (int c = x.integer.compare(y.integer); c != 0)
+    return sign * (c < 0 ? -1 : 1);
+  if (int c = x.fraction.compare(y.fraction); c != 0)
+    return sign * (c < 0 ? -1 : 1);
+  return 0;
+}
+
+int raw_compare(std::string_view a, std::string_view b) {
+  // Bytewise (LC_ALL=C) comparison treating chars as unsigned.
+  std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned char ca = static_cast<unsigned char>(a[i]);
+    unsigned char cb = static_cast<unsigned char>(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+int text_compare(std::string_view a, std::string_view b, bool fold,
+                 bool dictionary) {
+  std::size_t i = 0, j = 0;
+  while (true) {
+    if (dictionary) {
+      auto skippable = [](char c) {
+        unsigned char uc = static_cast<unsigned char>(c);
+        return !(std::isalnum(uc) || is_blank(c));
+      };
+      while (i < a.size() && skippable(a[i])) ++i;
+      while (j < b.size() && skippable(b[j])) ++j;
+    }
+    if (i >= a.size() || j >= b.size()) break;
+    unsigned char ca = static_cast<unsigned char>(a[i]);
+    unsigned char cb = static_cast<unsigned char>(b[j]);
+    if (fold) {
+      ca = static_cast<unsigned char>(std::toupper(ca));
+      cb = static_cast<unsigned char>(std::toupper(cb));
+    }
+    if (ca != cb) return ca < cb ? -1 : 1;
+    ++i;
+    ++j;
+  }
+  bool a_done = i >= a.size(), b_done = j >= b.size();
+  if (a_done && b_done) return 0;
+  return a_done ? -1 : 1;
+}
+
+// Extracts fields `start..end` (1-based; end 0 = end of line). Fields are
+// maximal non-blank runs; this simplified model matches GNU for the key
+// specs used in the benchmarks (-k1n, -k1,1, -k2).
+std::string_view extract_key(std::string_view line, int start_field,
+                             int end_field) {
+  std::size_t pos = 0;
+  int field = 0;
+  std::size_t key_begin = line.size();
+  std::size_t key_end = line.size();
+  while (pos < line.size()) {
+    while (pos < line.size() && is_blank(line[pos])) ++pos;
+    if (pos >= line.size()) break;
+    ++field;
+    std::size_t fstart = pos;
+    while (pos < line.size() && !is_blank(line[pos])) ++pos;
+    if (field == start_field) key_begin = fstart;
+    if (end_field != 0 && field == end_field) {
+      key_end = pos;
+      break;
+    }
+  }
+  if (key_begin >= line.size()) return {};
+  if (end_field == 0 || key_end < key_begin) key_end = line.size();
+  return line.substr(key_begin, key_end - key_begin);
+}
+
+}  // namespace
+
+std::optional<SortSpec> SortSpec::parse(const std::vector<std::string>& flags,
+                                        std::string* error) {
+  SortSpec spec;
+  for (const std::string& f : flags) {
+    if (f.rfind("--parallel", 0) == 0) continue;  // accepted, ignored
+    if (f == "--stable") {
+      spec.stable_only_ = true;
+      continue;
+    }
+    if (f.size() < 2 || f[0] != '-') {
+      if (error) *error = "sort: unsupported operand " + f;
+      return std::nullopt;
+    }
+    if (f[1] == 'k') {
+      // -kF[.C][opts][,G[.C][opts]]
+      SortKey key;
+      std::size_t i = 2;
+      auto read_int = [&](int& out) {
+        int v = 0;
+        bool any = false;
+        while (i < f.size() && std::isdigit(static_cast<unsigned char>(f[i]))) {
+          v = v * 10 + (f[i] - '0');
+          ++i;
+          any = true;
+        }
+        if (any) out = v;
+        return any;
+      };
+      if (!read_int(key.start_field)) {
+        if (error) *error = "sort: bad key spec " + f;
+        return std::nullopt;
+      }
+      auto read_opts = [&](SortKey& k) {
+        while (i < f.size() && f[i] != ',') {
+          switch (f[i]) {
+            case 'n': k.numeric = true; break;
+            case 'r': k.reverse = true; break;
+            case 'f': k.fold = true; break;
+            case 'd': k.dictionary = true; break;
+            default: return false;
+          }
+          ++i;
+        }
+        return true;
+      };
+      if (!read_opts(key)) {
+        if (error) *error = "sort: bad key option in " + f;
+        return std::nullopt;
+      }
+      if (i < f.size() && f[i] == ',') {
+        ++i;
+        if (!read_int(key.end_field)) {
+          if (error) *error = "sort: bad key spec " + f;
+          return std::nullopt;
+        }
+        if (!read_opts(key)) {
+          if (error) *error = "sort: bad key option in " + f;
+          return std::nullopt;
+        }
+      }
+      spec.keys_.push_back(key);
+      continue;
+    }
+    for (std::size_t i = 1; i < f.size(); ++i) {
+      switch (f[i]) {
+        case 'n': spec.numeric_ = true; break;
+        case 'r': spec.reverse_ = true; break;
+        case 'f': spec.fold_ = true; break;
+        case 'd': spec.dictionary_ = true; break;
+        case 'u': spec.unique_ = true; break;
+        case 'm': spec.merge_mode_ = true; break;
+        case 's': spec.stable_only_ = true; break;
+        case 'b': break;  // leading-blank skipping is implied by our keys
+        default:
+          if (error) *error = std::string("sort: unsupported flag -") + f[i];
+          return std::nullopt;
+      }
+    }
+  }
+  std::string global;
+  if (spec.numeric_) global += "n";
+  if (spec.reverse_) global += "r";
+  if (spec.fold_) global += "f";
+  if (spec.dictionary_) global += "d";
+  if (spec.unique_) global += "u";
+  std::string canon;
+  if (!global.empty()) canon = "-" + global;
+  for (const SortKey& k : spec.keys_) {
+    if (!canon.empty()) canon += " ";
+    canon += "-k" + std::to_string(k.start_field);
+    if (k.end_field) canon += "," + std::to_string(k.end_field);
+    if (k.numeric) canon += "n";
+    if (k.reverse) canon += "r";
+    if (k.fold) canon += "f";
+  }
+  spec.canonical_flags_ = canon;
+  return spec;
+}
+
+int SortSpec::compare_keys(std::string_view a, std::string_view b) const {
+  if (keys_.empty()) {
+    if (numeric_) return numeric_compare(a, b);
+    if (fold_ || dictionary_) return text_compare(a, b, fold_, dictionary_);
+    return raw_compare(a, b);
+  }
+  for (const SortKey& key : keys_) {
+    std::string_view ka = extract_key(a, key.start_field, key.end_field);
+    std::string_view kb = extract_key(b, key.start_field, key.end_field);
+    bool numeric = key.numeric || numeric_;
+    bool fold = key.fold || fold_;
+    bool dict = key.dictionary || dictionary_;
+    int c = numeric ? numeric_compare(ka, kb)
+                    : (fold || dict ? text_compare(ka, kb, fold, dict)
+                                    : raw_compare(ka, kb));
+    if (key.reverse) c = -c;
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int SortSpec::compare(std::string_view a, std::string_view b) const {
+  int c = compare_keys(a, b);
+  if (c == 0 && !stable_only_ && !unique_) c = raw_compare(a, b);
+  return reverse_ ? -c : c;
+}
+
+std::string SortSpec::sort_stream(std::string_view input) const {
+  auto ls = text::lines(input);
+  std::stable_sort(ls.begin(), ls.end(),
+                   [this](std::string_view a, std::string_view b) {
+                     return compare(a, b) < 0;
+                   });
+  if (unique_) {
+    std::vector<std::string_view> kept;
+    kept.reserve(ls.size());
+    for (std::string_view l : ls) {
+      if (!kept.empty() && compare_keys(kept.back(), l) == 0) continue;
+      kept.push_back(l);
+    }
+    ls = std::move(kept);
+  }
+  return text::unlines_views(ls);
+}
+
+std::string SortSpec::merge_streams(
+    const std::vector<std::string_view>& streams) const {
+  std::vector<std::vector<std::string_view>> queues;
+  queues.reserve(streams.size());
+  for (std::string_view s : streams) queues.push_back(text::lines(s));
+  std::vector<std::size_t> idx(streams.size(), 0);
+  std::vector<std::string_view> out;
+
+  // k-way merge through a binary min-heap of queue indices; ties break on
+  // the queue index, giving sort -m's stable earlier-file-first order.
+  auto heap_less = [&](std::size_t a, std::size_t b) {
+    int c = compare(queues[a][idx[a]], queues[b][idx[b]]);
+    if (c != 0) return c > 0;  // std::*_heap builds a max-heap: invert
+    return a > b;
+  };
+  std::vector<std::size_t> heap;
+  heap.reserve(queues.size());
+  for (std::size_t q = 0; q < queues.size(); ++q)
+    if (!queues[q].empty()) heap.push_back(q);
+  std::make_heap(heap.begin(), heap.end(), heap_less);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_less);
+    std::size_t q = heap.back();
+    heap.pop_back();
+    std::string_view line = queues[q][idx[q]++];
+    if (!unique_ || out.empty() || compare_keys(out.back(), line) != 0)
+      out.push_back(line);
+    if (idx[q] < queues[q].size()) {
+      heap.push_back(q);
+      std::push_heap(heap.begin(), heap.end(), heap_less);
+    }
+  }
+  return text::unlines_views(out);
+}
+
+bool SortSpec::is_sorted_stream(std::string_view input) const {
+  auto ls = text::lines(input);
+  for (std::size_t i = 1; i < ls.size(); ++i)
+    if (compare(ls[i - 1], ls[i]) > 0) return false;
+  return true;
+}
+
+namespace {
+
+class SortCommand final : public Command {
+ public:
+  SortCommand(std::string name, SortSpec spec)
+      : Command(std::move(name)), spec_(std::move(spec)) {}
+
+  Result execute(std::string_view input) const override {
+    return {spec_.sort_stream(input), 0, {}};
+  }
+
+ private:
+  SortSpec spec_;
+};
+
+}  // namespace
+
+CommandPtr make_sort_command(const Argv& argv, std::string* error) {
+  std::vector<std::string> flags(argv.begin() + 1, argv.end());
+  auto spec = SortSpec::parse(flags, error);
+  if (!spec) return nullptr;
+  if (spec->merge_mode()) {
+    if (error) *error = "sort: -m as a pipeline stage is not supported";
+    return nullptr;
+  }
+  return std::make_shared<SortCommand>(argv_to_display(argv),
+                                       std::move(*spec));
+}
+
+CommandPtr make_sort(const Argv& argv, std::string* error) {
+  return make_sort_command(argv, error);
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,75 @@
+// Built-in `sort` and the comparator/merge machinery shared with the DSL's
+// `merge <flags>` combiner (§3.5: merge is "sort -m <flags>").
+//
+// Supported flags: -n (numeric), -r (reverse), -f (fold case), -u (unique),
+// -d (dictionary order), -m (merge mode), -kF[opts] single-key specs like
+// -k1n / -k1,1 / -k2, and --parallel=N (accepted, ignored — the evaluation
+// infrastructure forces serial sort just like the paper's, §4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+
+struct SortKey {
+  int start_field = 1;   // 1-based
+  int end_field = 0;     // 0 = through end of line
+  bool numeric = false;
+  bool reverse = false;
+  bool fold = false;
+  bool dictionary = false;
+};
+
+class SortSpec {
+ public:
+  // Parses sort flags (argv without the program name). Returns nullopt on
+  // unsupported flags.
+  static std::optional<SortSpec> parse(const std::vector<std::string>& flags,
+                                       std::string* error = nullptr);
+
+  // Three-way comparison of two lines under this spec (ignoring -r at the
+  // top level when `apply_reverse` is false; merge needs the forward order).
+  int compare(std::string_view a, std::string_view b) const;
+
+  // True iff a precedes-or-equals b in output order.
+  bool less_equal(std::string_view a, std::string_view b) const {
+    return compare(a, b) <= 0;
+  }
+
+  // Sorts the lines of stream `input` (uniq-filtering if -u).
+  std::string sort_stream(std::string_view input) const;
+
+  // Merges k pre-sorted streams stably (`sort -m`); streams that are not
+  // sorted produce the same garbage real sort -m would, so callers check
+  // sortedness for legality first (see dsl::domain).
+  std::string merge_streams(const std::vector<std::string_view>& streams) const;
+
+  // True iff the lines of `input` are already in output order.
+  bool is_sorted_stream(std::string_view input) const;
+
+  bool unique() const { return unique_; }
+  bool merge_mode() const { return merge_mode_; }
+  const std::string& canonical_flags() const { return canonical_flags_; }
+
+ private:
+  int compare_keys(std::string_view a, std::string_view b) const;
+
+  bool numeric_ = false;
+  bool reverse_ = false;
+  bool fold_ = false;
+  bool dictionary_ = false;
+  bool unique_ = false;
+  bool merge_mode_ = false;
+  bool stable_only_ = false;  // -s: no last-resort comparison
+  std::vector<SortKey> keys_;
+  std::string canonical_flags_;
+};
+
+CommandPtr make_sort_command(const Argv& argv, std::string* error);
+
+}  // namespace kq::cmd

@@ -1,0 +1,55 @@
+// Built-in `uniq`: collapse adjacent duplicate lines; -c prefixes each kept
+// line with its run length right-aligned in a 7-column field (GNU format).
+
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+class UniqCommand final : public Command {
+ public:
+  UniqCommand(std::string name, bool count)
+      : Command(std::move(name)), count_(count) {}
+
+  Result execute(std::string_view input) const override {
+    auto ls = text::lines(input);
+    std::string out;
+    out.reserve(input.size());
+    std::size_t i = 0;
+    while (i < ls.size()) {
+      std::size_t j = i + 1;
+      while (j < ls.size() && ls[j] == ls[i]) ++j;
+      if (count_) {
+        std::string count = std::to_string(j - i);
+        if (count.size() < 7) out.append(7 - count.size(), ' ');
+        out += count;
+        out.push_back(' ');
+      }
+      out += ls[i];
+      out.push_back('\n');
+      i = j;
+    }
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  bool count_;
+};
+
+}  // namespace
+
+CommandPtr make_uniq(const Argv& argv, std::string* error) {
+  bool count = false;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    if (argv[i] == "-c") {
+      count = true;
+    } else {
+      if (error) *error = "uniq: unsupported flag " + argv[i];
+      return nullptr;
+    }
+  }
+  return std::make_shared<UniqCommand>(argv_to_display(argv), count);
+}
+
+}  // namespace kq::cmd

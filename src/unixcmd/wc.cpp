@@ -1,0 +1,92 @@
+// Built-in `wc`: line/word/byte counts. Reading from standard input, GNU wc
+// prints bare numbers for a single count and right-aligned columns for
+// multiple counts; we reproduce both formats.
+
+#include <cctype>
+
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+struct Counts {
+  std::uint64_t lines = 0;
+  std::uint64_t words = 0;
+  std::uint64_t bytes = 0;
+};
+
+Counts count(std::string_view input) {
+  Counts c;
+  c.bytes = input.size();
+  bool in_word = false;
+  for (char ch : input) {
+    if (ch == '\n') ++c.lines;
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      in_word = false;
+    } else if (!in_word) {
+      in_word = true;
+      ++c.words;
+    }
+  }
+  return c;
+}
+
+class WcCommand final : public Command {
+ public:
+  WcCommand(std::string name, bool lines, bool words, bool bytes)
+      : Command(std::move(name)), lines_(lines), words_(words),
+        bytes_(bytes) {}
+
+  Result execute(std::string_view input) const override {
+    Counts c = count(input);
+    std::vector<std::uint64_t> selected;
+    if (lines_) selected.push_back(c.lines);
+    if (words_) selected.push_back(c.words);
+    if (bytes_) selected.push_back(c.bytes);
+    std::string out;
+    if (selected.size() == 1) {
+      out = std::to_string(selected[0]);
+    } else {
+      // GNU pads each column to width 7 when reading a pipe.
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        std::string v = std::to_string(selected[i]);
+        if (i != 0) out.push_back(' ');
+        if (v.size() < 7) out.append(7 - v.size(), ' ');
+        out += v;
+      }
+    }
+    out.push_back('\n');
+    return {std::move(out), 0, {}};
+  }
+
+ private:
+  bool lines_, words_, bytes_;
+};
+
+}  // namespace
+
+CommandPtr make_wc(const Argv& argv, std::string* error) {
+  bool lines = false, words = false, bytes = false;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.size() < 2 || a[0] != '-') {
+      if (error) *error = "wc: unsupported operand " + a;
+      return nullptr;
+    }
+    for (std::size_t j = 1; j < a.size(); ++j) {
+      switch (a[j]) {
+        case 'l': lines = true; break;
+        case 'w': words = true; break;
+        case 'c': bytes = true; break;
+        default:
+          if (error) *error = "wc: unsupported flag";
+          return nullptr;
+      }
+    }
+  }
+  if (!lines && !words && !bytes) lines = words = bytes = true;
+  return std::make_shared<WcCommand>(argv_to_display(argv), lines, words,
+                                     bytes);
+}
+
+}  // namespace kq::cmd

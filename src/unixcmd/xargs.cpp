@@ -1,0 +1,122 @@
+// Built-in `xargs` for the file-consuming idioms in the benchmarks:
+//   xargs cat          concatenate the named (virtual) files
+//   xargs file         report a type line per file ("NAME: ASCII text")
+//   xargs -L 1 wc -l   run `wc -l FILE` per input line ("COUNT NAME")
+//
+// Input tokens are whitespace-separated file names resolved against the
+// virtual file system. Missing files produce an error line on stderr and a
+// non-zero exit status (matching the probe-classification behaviour the
+// paper relies on: xargs fails on word inputs that are not file names).
+
+#include <cctype>
+
+#include "text/streams.h"
+#include "unixcmd/builtins.h"
+
+namespace kq::cmd {
+namespace {
+
+std::vector<std::string> tokens(std::string_view input) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() &&
+           std::isspace(static_cast<unsigned char>(input[i])))
+      ++i;
+    if (i >= input.size()) break;
+    std::size_t start = i;
+    while (i < input.size() &&
+           !std::isspace(static_cast<unsigned char>(input[i])))
+      ++i;
+    out.emplace_back(input.substr(start, i - start));
+  }
+  return out;
+}
+
+enum class Mode { kCat, kFile, kWcPerLine };
+
+class XargsCommand final : public Command {
+ public:
+  XargsCommand(std::string name, Mode mode, const vfs::Vfs* fs)
+      : Command(std::move(name)), mode_(mode), fs_(fs) {}
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    int status = 0;
+    std::string err;
+    for (const std::string& name : tokens(input)) {
+      auto contents = fs_->read(name);
+      if (!contents) {
+        status = 1;
+        err += name + ": No such file or directory\n";
+        continue;
+      }
+      switch (mode_) {
+        case Mode::kCat:
+          out += *contents;
+          break;
+        case Mode::kFile:
+          out += name;
+          if (contents->empty()) {
+            out += ": empty";
+          } else if (contents->rfind("#!", 0) == 0) {
+            // file(1)'s classification for executable scripts.
+            out += ": POSIX shell script, ASCII text executable";
+          } else {
+            out += ": ASCII text";
+          }
+          out.push_back('\n');
+          break;
+        case Mode::kWcPerLine: {
+          std::size_t count = 0;
+          for (char c : *contents)
+            if (c == '\n') ++count;
+          out += std::to_string(count);
+          out.push_back(' ');
+          out += name;
+          out.push_back('\n');
+          break;
+        }
+      }
+    }
+    return {std::move(out), status, std::move(err)};
+  }
+
+ private:
+  Mode mode_;
+  const vfs::Vfs* fs_;
+};
+
+}  // namespace
+
+CommandPtr make_xargs(const Argv& argv, const vfs::Vfs* fs,
+                      std::string* error) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a == "-L") {
+      if (i + 1 >= argv.size() || argv[i + 1] != "1") {
+        if (error) *error = "xargs: only -L 1 is supported";
+        return nullptr;
+      }
+      ++i;
+      continue;
+    }
+    rest.push_back(a);
+  }
+  Mode mode;
+  if (rest.size() == 1 && rest[0] == "cat") {
+    mode = Mode::kCat;
+  } else if (rest.size() == 1 && rest[0] == "file") {
+    mode = Mode::kFile;
+  } else if (rest.size() == 2 && rest[0] == "wc" && rest[1] == "-l") {
+    mode = Mode::kWcPerLine;
+  } else {
+    if (error) *error = "xargs: unsupported utility";
+    return nullptr;
+  }
+  if (!fs) fs = &vfs::Vfs::global();
+  return std::make_shared<XargsCommand>(argv_to_display(argv), mode, fs);
+}
+
+}  // namespace kq::cmd

@@ -1,0 +1,40 @@
+// An in-memory file system used by commands that dereference file names
+// (`xargs cat`, `xargs file`, `comm - dict`). Keeping file contents in
+// memory makes synthesis and the benchmark suite hermetic: no temp files,
+// no dependence on the host file system, and trivially thread-safe reads.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace kq::vfs {
+
+class Vfs {
+ public:
+  Vfs() = default;
+
+  // Creates or replaces a file.
+  void write(std::string name, std::string contents);
+
+  // Reads a file; nullopt if absent.
+  std::optional<std::string> read(const std::string& name) const;
+
+  bool exists(const std::string& name) const;
+
+  // All file names, sorted.
+  std::vector<std::string> names() const;
+
+  void clear();
+
+  // Process-wide instance used by default-constructed commands.
+  static Vfs& global();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace kq::vfs

@@ -1,0 +1,185 @@
+// Tests for the pipeline compiler: parsing, plan construction (which
+// stages parallelize, which stay sequential), the elimination optimization
+// (Theorem 5), and end-to-end equivalence of compiled parallel pipelines
+// with serial execution — including the §2 word-frequency example.
+
+#include <gtest/gtest.h>
+
+#include "compile/optimize.h"
+#include "compile/pipeline.h"
+#include "compile/plan.h"
+
+namespace kq::compile {
+namespace {
+
+// ------------------------------------------------------------- parsing --
+
+TEST(ParsePipeline, SplitsStages) {
+  auto p = parse_pipeline("tr A-Z a-z | sort | uniq -c");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->stages.size(), 3u);
+  EXPECT_EQ(p->stages[0].argv[0], "tr");
+  EXPECT_EQ(p->stages[2].display, "uniq -c");
+  EXPECT_FALSE(p->had_leading_cat);
+}
+
+TEST(ParsePipeline, DropsLeadingCat) {
+  auto p = parse_pipeline("cat $IN | sort | uniq");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->had_leading_cat);
+  EXPECT_EQ(p->leading_cat_operand, "$IN");
+  EXPECT_EQ(p->stages.size(), 2u);
+}
+
+TEST(ParsePipeline, QuotedPipeCharacter) {
+  auto p = parse_pipeline("grep '|' | wc -l");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->stages.size(), 2u);
+  EXPECT_EQ(p->stages[0].argv[1], "|");
+}
+
+TEST(ParsePipeline, RejectsEmptyStage) {
+  EXPECT_FALSE(parse_pipeline("sort | | uniq").has_value());
+  EXPECT_FALSE(parse_pipeline("", nullptr).has_value());
+}
+
+// ----------------------------------------------------------------- plan --
+
+struct Compiled {
+  Plan plan;
+  std::vector<exec::ExecStage> stages;
+};
+
+Compiled compile_line(const std::string& script,
+                      synth::SynthesisCache& cache) {
+  auto parsed = parse_pipeline(script);
+  EXPECT_TRUE(parsed.has_value()) << script;
+  Plan plan = compile_pipeline(*parsed, cache);
+  eliminate_intermediate_combiners(plan);
+  auto stages = lower_plan(plan);
+  return {std::move(plan), std::move(stages)};
+}
+
+TEST(Plan, WordFrequencyExample) {
+  // The §2 pipeline: tr -cs stays sequential (rerun, no reduction);
+  // tr A-Z a-z parallelizes with its combiner eliminated before sort;
+  // sort merges; uniq -c stitches; sort -rn merges.
+  synth::SynthesisCache cache;
+  auto c = compile_line(
+      "cat $IN | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | "
+      "sort -rn",
+      cache);
+  ASSERT_EQ(c.plan.total(), 5);
+  const auto& s = c.plan.stages;
+  EXPECT_FALSE(s[0].parallel);         // tr -cs ... sequential
+  EXPECT_TRUE(s[0].sequential_rerun);
+  EXPECT_TRUE(s[1].parallel);          // tr A-Z a-z
+  EXPECT_TRUE(s[1].eliminate);         // concat before parallel sort
+  EXPECT_TRUE(s[2].parallel);          // sort
+  EXPECT_FALSE(s[2].eliminate);
+  EXPECT_TRUE(s[3].parallel);          // uniq -c
+  EXPECT_TRUE(s[4].parallel);          // sort -rn
+  EXPECT_EQ(c.plan.parallelized(), 4);
+  EXPECT_EQ(c.plan.eliminated(), 1);
+}
+
+TEST(Plan, UnknownCommandStaysSerial) {
+  synth::SynthesisCache cache;
+  auto parsed = parse_pipeline("frobnicate | sort");
+  ASSERT_TRUE(parsed.has_value());
+  Plan plan = compile_pipeline(*parsed, cache);
+  EXPECT_FALSE(plan.stages[0].parallel);
+  EXPECT_EQ(plan.stages[0].command, nullptr);
+  EXPECT_TRUE(plan.stages[1].parallel);
+}
+
+TEST(Plan, TrDeleteNewlineNotEliminated) {
+  // tr -d '\n' has a concat combiner but breaks the Theorem 5
+  // newline-termination precondition.
+  synth::SynthesisCache cache;
+  auto c = compile_line("tr -d ',' | tr -d '\\n' | wc -c", cache);
+  EXPECT_TRUE(c.plan.stages[1].parallel);
+  EXPECT_FALSE(c.plan.stages[1].eliminate);
+}
+
+TEST(Plan, LastStageNeverEliminated) {
+  synth::SynthesisCache cache;
+  auto c = compile_line("tr A-Z a-z | sed s/a/b/", cache);
+  EXPECT_FALSE(c.plan.stages.back().eliminate);
+}
+
+TEST(Plan, EliminationRequiresParallelSuccessor) {
+  synth::SynthesisCache cache;
+  // grep (concat) followed by sed 2q (rerun-only, sequential because it
+  // does not reduce... actually 2q reduces heavily; use an unknown command
+  // to force a serial successor).
+  auto parsed = parse_pipeline("tr A-Z a-z | frobnicate");
+  ASSERT_TRUE(parsed.has_value());
+  Plan plan = compile_pipeline(*parsed, cache);
+  eliminate_intermediate_combiners(plan);
+  EXPECT_FALSE(plan.stages[0].eliminate);
+}
+
+// ------------------------------------------------- end-to-end execution --
+
+std::string gutenberg_sample() {
+  std::string text;
+  const char* sentences[] = {
+      "It was the best of times it was the worst of times",
+      "Call me Ishmael some years ago never mind how long",
+      "In the beginning God created the heaven and the earth",
+      "It is a truth universally acknowledged that a single man",
+  };
+  for (int i = 0; i < 120; ++i) {
+    text += sentences[i % 4];
+    text.push_back('\n');
+  }
+  return text;
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineEquivalence, ParallelMatchesSerial) {
+  const std::string script = GetParam();
+  synth::SynthesisCache cache;
+  auto parsed = parse_pipeline(script);
+  ASSERT_TRUE(parsed.has_value());
+  Plan plan = compile_pipeline(*parsed, cache);
+  eliminate_intermediate_combiners(plan);
+  auto stages = lower_plan(plan);
+
+  std::string input = gutenberg_sample();
+  exec::RunResult serial = exec::run_serial(stages, input);
+  exec::ThreadPool pool(4);
+  for (int k : {2, 3, 5}) {
+    exec::RunResult unopt =
+        exec::run_pipeline(stages, input, pool, {k, false});
+    EXPECT_EQ(unopt.output, serial.output)
+        << script << " (unoptimized, k=" << k << ")";
+    exec::RunResult opt = exec::run_pipeline(stages, input, pool, {k, true});
+    EXPECT_EQ(opt.output, serial.output)
+        << script << " (optimized, k=" << k << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreScripts, PipelineEquivalence,
+    ::testing::Values(
+        "tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn",
+        "tr A-Z a-z | sort",
+        "sort | uniq",
+        "sort | uniq -c | sort -rn",
+        "grep 'the' | wc -l",
+        "tr -s ' ' '\\n' | sort -u",
+        "cut -d ' ' -f 1 | sort | uniq -c",
+        "sed s/the/THE/ | grep -c THE",
+        "awk '{print NF}' | sort -n | uniq -c",
+        "rev | sort | rev",
+        "tr -d '\\n' | wc -c",
+        "grep -v '^$' | head -n 5"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return "script_" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace kq::compile

@@ -1,0 +1,186 @@
+// Property tests for the paper's theorems:
+//
+//  * Theorems 1/2 (RecOp): with sufficient observations, every surviving
+//    RecOp candidate is equivalent-by-intersection to the correct
+//    combiner — checked extensionally on held-out observation streams.
+//  * Theorems 3/4 (StructOp): same for table-shaped commands.
+//  * Theorem 5: eliminating a concat combiner preserves the final output.
+//  * Proposition B.5: plausible sets grow monotonically with the size cap.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dsl/enumerate.h"
+#include "exec/splitter.h"
+#include "shape/generate.h"
+#include "synth/filter.h"
+#include "synth/synthesize.h"
+#include "text/shellwords.h"
+#include "unixcmd/registry.h"
+
+namespace kq {
+namespace {
+
+std::vector<synth::Observation> observe_random(const cmd::Command& f,
+                                               int count,
+                                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<shape::InputPair> pairs;
+  for (int i = 0; i < count; ++i) {
+    shape::Shape s = shape::random_shape(rng);
+    pairs.push_back(shape::generate_pair(s, {}, rng));
+  }
+  return synth::observe_all(f, pairs);
+}
+
+struct TheoremCase {
+  const char* command;
+  // The representative correct combiner (Definition B.11) expected to
+  // survive filtering.
+  const char* representative;
+};
+
+class SurvivorEquivalence : public ::testing::TestWithParam<TheoremCase> {};
+
+// For every surviving candidate g', and fresh observations with operands
+// in both domains, g' and the correct representative agree (the
+// ≡∩ conclusion of Theorems 2 and 4, checked extensionally).
+TEST_P(SurvivorEquivalence, SurvivorsAgreeOnHeldOutData) {
+  const TheoremCase& tc = GetParam();
+  auto argv = text::shell_split(tc.command);
+  cmd::CommandPtr f = cmd::make_command(*argv);
+  ASSERT_NE(f, nullptr);
+  dsl::EvalContext ctx{f.get()};
+
+  synth::SynthesisResult result = synth::synthesize(*f, *argv);
+  ASSERT_TRUE(result.success) << tc.command;
+
+  bool found_representative = false;
+  for (const auto& g : result.plausible)
+    if (dsl::to_string(g) == tc.representative) found_representative = true;
+  ASSERT_TRUE(found_representative)
+      << tc.command << " lost " << tc.representative;
+
+  // Held-out data: the survivors must agree with each other wherever
+  // both are defined.
+  auto held_out = observe_random(*f, 30, 0xfeed);
+  ASSERT_FALSE(held_out.empty());
+  for (const auto& obs : held_out) {
+    std::optional<std::string> reference;
+    for (const auto& g : result.plausible) {
+      auto v = dsl::eval(g, obs.y1, obs.y2, ctx);
+      if (!v) continue;  // outside this candidate's domain
+      if (!reference) {
+        reference = v;
+        EXPECT_EQ(*v, obs.y12) << dsl::to_string(g) << " on " << tc.command;
+      } else {
+        EXPECT_EQ(*v, *reference)
+            << dsl::to_string(g) << " disagrees on " << tc.command;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Theorems2And4, SurvivorEquivalence,
+    ::testing::Values(
+        TheoremCase{"wc -l", "((back '\\n' add) a b)"},
+        TheoremCase{"grep -c a", "((back '\\n' add) a b)"},
+        TheoremCase{"tr A-Z a-z", "(concat a b)"},
+        TheoremCase{"cut -c 1-4", "(concat a b)"},
+        TheoremCase{"sed s/a/b/", "(concat a b)"},
+        TheoremCase{"uniq", "((stitch first) a b)"},
+        TheoremCase{"uniq -c", "((stitch2 ' ' add first) a b)"}),
+    [](const ::testing::TestParamInfo<TheoremCase>& info) {
+      std::string out;
+      for (char c : std::string(info.param.command))
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      return out + "_" + std::to_string(info.index);
+    });
+
+// Theorem 5: for a concat-combined stage f1 feeding f2, combining after f2
+// equals combining between the stages.
+TEST(Theorem5, EliminationPreservesOutputs) {
+  cmd::CommandPtr f1 = cmd::make_command_line("tr A-Z a-z");
+  cmd::CommandPtr f2 = cmd::make_command_line("grep -c a");
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    shape::Shape s = shape::random_shape(rng);
+    std::string x = shape::generate_stream(s, {}, rng);
+    auto chunks = exec::split_stream(x, 4);
+
+    // With intermediate combiner: concat f1 outputs, then run f2 split
+    // again... the unoptimized pipeline runs f2 on a fresh split of the
+    // combined stream. The optimized pipeline feeds f1's substreams
+    // directly to f2. Both must equal serial composition after f2's
+    // combiner.
+    std::string serial = f2->run(f1->run(x));
+
+    std::vector<std::string> mid;
+    for (auto c : chunks) mid.push_back(f1->run(c));
+    // Optimized: no combine between stages.
+    dsl::Combiner back_add = dsl::combiner_back_add('\n');
+    std::vector<std::string> counts;
+    for (const auto& m : mid) counts.push_back(f2->run(m));
+    auto combined = dsl::combine_k(back_add, counts);
+    ASSERT_TRUE(combined.has_value());
+    EXPECT_EQ(*combined, serial);
+  }
+}
+
+// Proposition B.5: P_k1(Y) ⊆ P_k2(Y) for k1 < k2.
+TEST(PropositionB5, PlausibleSetsMonotoneInSizeCap) {
+  cmd::CommandPtr f = cmd::make_command_line("wc -l");
+  auto observations = observe_random(*f, 10, 0xabc);
+  dsl::EvalContext ctx{f.get()};
+  std::size_t previous = 0;
+  for (int max_ops : {1, 2, 3, 4, 5}) {
+    dsl::SpaceSpec spec;
+    spec.delims = {'\n'};
+    spec.max_ops = max_ops;
+    auto space = dsl::enumerate_candidates(spec);
+    auto surviving =
+        synth::filter_candidates(space.candidates, observations, ctx);
+    EXPECT_GE(surviving.size(), previous) << "max_ops=" << max_ops;
+    previous = surviving.size();
+  }
+}
+
+// The divide-and-conquer equation holds for the synthesized combiner on
+// k-way splits (not just pairs), exercising the §3.5 generalization.
+class KWaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KWaySweep, DivideAndConquerAtWidthK) {
+  int k = GetParam();
+  const char* kCommands[] = {"wc -l", "tr A-Z a-z", "sort", "uniq",
+                             "uniq -c", "sort -rn"};
+  std::mt19937_64 rng(static_cast<std::uint64_t>(k) * 77);
+  for (const char* line : kCommands) {
+    auto argv = text::shell_split(line);
+    cmd::CommandPtr f = cmd::make_command(*argv);
+    synth::SynthesisResult r = synth::synthesize(*f, *argv);
+    ASSERT_TRUE(r.success) << line;
+    dsl::EvalContext ctx{f.get()};
+    for (int trial = 0; trial < 5; ++trial) {
+      shape::Shape s = shape::random_shape(rng);
+      s.lines.min_count = std::max(s.lines.min_count, k);
+      s.lines.max_count = std::max(s.lines.max_count, 4 * k);
+      std::string x = shape::generate_stream(s, {}, rng);
+      auto chunks = exec::split_stream(x, k);
+      std::vector<std::string> outputs;
+      for (auto c : chunks) outputs.push_back(f->run(c));
+      auto combined = r.combiner.apply_k(outputs, ctx);
+      ASSERT_TRUE(combined.has_value()) << line << " k=" << k;
+      EXPECT_EQ(*combined, f->run(x)) << line << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KWaySweep, ::testing::Values(2, 3, 5, 8, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace kq

@@ -1,0 +1,224 @@
+// Tests for input shapes, stream generation, the 12 mutations
+// (Algorithm 2's state space), and the preprocessing passes (literal
+// extraction, probe classification, delimiter inference).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsl/enumerate.h"
+#include "prep/delimiters.h"
+#include "prep/literals.h"
+#include "prep/probe.h"
+#include "shape/generate.h"
+#include "shape/mutate.h"
+#include "text/shellwords.h"
+#include "text/streams.h"
+#include "text/strings.h"
+#include "unixcmd/registry.h"
+
+namespace kq {
+namespace {
+
+// --------------------------------------------------------------- shapes --
+
+TEST(Shape, GeneratedStreamsRespectLineBounds) {
+  std::mt19937_64 rng(1);
+  shape::Shape s;
+  s.lines = {3, 7, 80};
+  for (int i = 0; i < 50; ++i) {
+    std::string stream = shape::generate_stream(s, {}, rng);
+    ASSERT_TRUE(text::is_stream(stream));
+    auto n = text::lines(stream).size();
+    EXPECT_GE(n, 3u);
+    EXPECT_LE(n, 7u);
+  }
+}
+
+TEST(Shape, DistinctPercentControlsDuplicates) {
+  std::mt19937_64 rng(2);
+  shape::Shape low;   // heavy duplication
+  low.lines = {40, 40, 5};
+  shape::Shape high;  // mostly distinct
+  high.lines = {40, 40, 100};
+  std::size_t low_distinct = 0, high_distinct = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto count_distinct = [](const std::string& s) {
+      auto ls = text::lines(s);
+      return std::set<std::string_view>(ls.begin(), ls.end()).size();
+    };
+    low_distinct += count_distinct(shape::generate_stream(low, {}, rng));
+    high_distinct += count_distinct(shape::generate_stream(high, {}, rng));
+  }
+  EXPECT_LT(low_distinct * 2, high_distinct);
+}
+
+TEST(Shape, PairSplitsAtLineBoundary) {
+  std::mt19937_64 rng(3);
+  shape::Shape s;
+  s.lines = {4, 10, 70};
+  for (int i = 0; i < 50; ++i) {
+    shape::InputPair pair = shape::generate_pair(s, {}, rng);
+    EXPECT_TRUE(text::is_stream(pair.x1));
+    EXPECT_TRUE(text::is_stream(pair.x2));
+  }
+}
+
+TEST(Shape, SortedOptionKeepsConcatenationSorted) {
+  std::mt19937_64 rng(4);
+  shape::GenOptions gen;
+  gen.sorted = true;
+  shape::Shape s;
+  s.lines = {5, 12, 90};
+  for (int i = 0; i < 30; ++i) {
+    shape::InputPair pair = shape::generate_pair(s, gen, rng);
+    std::string joined = pair.joined();
+    auto ls = text::lines(joined);
+    for (std::size_t j = 1; j < ls.size(); ++j)
+      EXPECT_LE(ls[j - 1], ls[j]);
+  }
+}
+
+TEST(Shape, DictionaryWordsAreUsed) {
+  std::mt19937_64 rng(5);
+  shape::GenOptions gen;
+  gen.dictionary = {"alpha", "beta"};
+  shape::Shape s;
+  s.words = {1, 3, 100};
+  std::string stream = shape::generate_stream(s, gen, rng);
+  for (std::string_view line : text::lines(stream)) {
+    if (line.empty()) continue;
+    for (std::string_view w : text::split(line, ' '))
+      EXPECT_TRUE(w == "alpha" || w == "beta") << w;
+  }
+}
+
+TEST(Mutate, TwelveDistinctMutations) {
+  shape::Shape s = shape::seed_shape();
+  std::set<std::string> results;
+  for (int j = 0; j < shape::kMutationCount; ++j)
+    results.insert(shape::mutate_shape(s, j).to_string());
+  // All mutations produce a change; most are distinct states.
+  EXPECT_GE(results.size(), 10u);
+  for (int j = 0; j < shape::kMutationCount; ++j)
+    EXPECT_NE(shape::mutate_shape(s, j).to_string(), s.to_string())
+        << shape::mutation_name(j);
+}
+
+TEST(Mutate, DirectionsMoveTheRightKnob) {
+  shape::Shape s = shape::seed_shape();
+  EXPECT_GT(shape::mutate_shape(s, 0).lines.max_count, s.lines.max_count);
+  EXPECT_LT(shape::mutate_shape(s, 1).lines.max_count, s.lines.max_count);
+  EXPECT_GT(shape::mutate_shape(s, 2).lines.distinct_pct,
+            s.lines.distinct_pct);
+  EXPECT_LT(shape::mutate_shape(s, 3).lines.distinct_pct,
+            s.lines.distinct_pct);
+  EXPECT_GT(shape::mutate_shape(s, 4).words.max_count, s.words.max_count);
+  EXPECT_GT(shape::mutate_shape(s, 8).chars.max_count, s.chars.max_count);
+}
+
+TEST(Mutate, BoundsAreClamped) {
+  shape::Shape s = shape::seed_shape();
+  for (int i = 0; i < 20; ++i) s = shape::mutate_shape(s, 3);
+  EXPECT_GE(s.lines.distinct_pct, 5);
+  for (int i = 0; i < 20; ++i) s = shape::mutate_shape(s, 1);
+  EXPECT_GE(s.lines.max_count, 1);
+}
+
+// --------------------------------------------------------------- literals --
+
+TEST(Literals, GrepPatternYieldsMatchingDictionary) {
+  auto argv = text::shell_split("grep 'light.light'");
+  auto lit = prep::extract_literals(*argv);
+  ASSERT_FALSE(lit.dictionary.empty());
+  for (const std::string& w : lit.dictionary) {
+    EXPECT_EQ(w.size(), 11u);
+    EXPECT_EQ(w.substr(0, 5), "light");
+  }
+}
+
+TEST(Literals, SedQuitYieldsNumber) {
+  auto argv = text::shell_split("sed 100q");
+  auto lit = prep::extract_literals(*argv);
+  ASSERT_EQ(lit.numbers.size(), 1u);
+  EXPECT_EQ(lit.numbers[0], 100);
+}
+
+TEST(Literals, SedSubstituteYieldsPatternSamples) {
+  auto argv = text::shell_split("sed 's/T..:..:..//'");
+  auto lit = prep::extract_literals(*argv);
+  ASSERT_FALSE(lit.dictionary.empty());
+  for (const std::string& w : lit.dictionary) {
+    EXPECT_EQ(w[0], 'T');
+    EXPECT_EQ(w[3], ':');
+  }
+}
+
+TEST(Literals, AwkComparisonYieldsNumber) {
+  auto argv = text::shell_split("awk '$1 >= 1000'");
+  auto lit = prep::extract_literals(*argv);
+  ASSERT_FALSE(lit.numbers.empty());
+  EXPECT_EQ(lit.numbers[0], 1000);
+}
+
+TEST(Literals, HeadCountExtracted) {
+  auto argv = text::shell_split("head -n 15");
+  auto lit = prep::extract_literals(*argv);
+  ASSERT_FALSE(lit.numbers.empty());
+  EXPECT_EQ(lit.numbers[0], 15);
+}
+
+// ----------------------------------------------------------------- probe --
+
+TEST(Probe, PlainCommandsAcceptAnyText) {
+  auto c = cmd::make_command_line("tr A-Z a-z");
+  EXPECT_EQ(prep::classify_inputs(*c, vfs::Vfs::global()),
+            prep::InputClass::kAnyText);
+}
+
+TEST(Probe, CommRequiresSortedText) {
+  vfs::Vfs fs;
+  fs.write("dict", "apple\nzebra\n");
+  auto c = cmd::make_command_line("comm -23 - dict", nullptr, &fs);
+  EXPECT_EQ(prep::classify_inputs(*c, fs), prep::InputClass::kSortedText);
+}
+
+TEST(Probe, XargsRequiresFileNames) {
+  vfs::Vfs fs;
+  fs.write("f1", "data\n");
+  auto c = cmd::make_command_line("xargs cat", nullptr, &fs);
+  EXPECT_EQ(prep::classify_inputs(*c, fs), prep::InputClass::kFileNames);
+}
+
+// ------------------------------------------------------------- delimiters --
+
+TEST(Delims, NewlineAlwaysPresent) {
+  auto d = prep::infer_delims({"abc\n"});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], '\n');
+}
+
+TEST(Delims, DetectsSpacesAndCommas) {
+  auto d = prep::infer_delims({"a b\n", "1,2\n"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], '\n');
+}
+
+TEST(Delims, CapAtThreeByFrequency) {
+  auto d = prep::infer_delims({"a b\tc,d e f\n"});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], '\n');
+  EXPECT_EQ(d[1], ' ');  // most frequent optional delimiter
+}
+
+TEST(Delims, MatchesPaperSpaceSizes) {
+  // wc -l outputs only digits + newline -> D=1 -> 2700 candidates;
+  // uniq -c outputs "  count word" -> D=2 -> 26404.
+  auto wc = prep::infer_delims({"42\n"});
+  EXPECT_EQ(dsl::count_candidates(wc.size(), 5).total(), 2700u);
+  auto uniq = prep::infer_delims({"      2 apple\n"});
+  EXPECT_EQ(dsl::count_candidates(uniq.size(), 5).total(), 26404u);
+}
+
+}  // namespace
+}  // namespace kq

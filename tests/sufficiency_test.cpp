@@ -1,0 +1,125 @@
+// Tests for the Appendix B sufficiency predicates (Table 2, Definitions
+// B.13-B.15) and the theorem-certification API.
+
+#include <gtest/gtest.h>
+
+#include "synth/sufficiency.h"
+#include "synth/synthesize.h"
+#include "text/shellwords.h"
+#include "unixcmd/registry.h"
+
+namespace kq::synth {
+namespace {
+
+Observation obs(std::string y1, std::string y2, std::string y12 = "") {
+  return Observation{std::move(y1), std::move(y2), std::move(y12)};
+}
+
+TEST(Significant, DelimAndZeroAreInsignificant) {
+  EXPECT_TRUE(is_delim_or_zero('0'));
+  EXPECT_TRUE(is_delim_or_zero('\n'));
+  EXPECT_TRUE(is_delim_or_zero(' '));
+  EXPECT_TRUE(is_delim_or_zero(','));
+  EXPECT_FALSE(is_delim_or_zero('1'));
+  EXPECT_FALSE(is_delim_or_zero('a'));
+  EXPECT_FALSE(has_significant_char("0 0,\n"));
+  EXPECT_TRUE(has_significant_char("0 x\n"));
+}
+
+TEST(ERec, RequiresDifferingAndSignificantOperands) {
+  // Differ + both significant: sufficient.
+  EXPECT_TRUE(e_rec({obs("a\n", "b\n")}));
+  // Equal operands only: insufficient (first/second indistinguishable).
+  EXPECT_FALSE(e_rec({obs("a\n", "a\n")}));
+  // Differ, but y2 all-zero: insufficient (add vs first ambiguous).
+  EXPECT_FALSE(e_rec({obs("a\n", "0\n")}));
+  // Evidence may be split across observations.
+  EXPECT_TRUE(e_rec({obs("a\n", "a\n"), obs("x\n", "y\n")}));
+}
+
+TEST(EAdd, ZeroCountsAreInsufficient) {
+  // wc -l outputting 0 on every observation cannot pin down add.
+  dsl::Combiner ba = dsl::combiner_back_add('\n');
+  EXPECT_EQ(e_representative(ba, {obs("0\n", "0\n")}), false);
+  EXPECT_EQ(e_representative(ba, {obs("3\n", "4\n")}), true);
+  // Malformed (no trailing newline) fails the formatting layer.
+  EXPECT_EQ(e_representative(ba, {obs("3", "4")}), false);
+}
+
+TEST(EConcat, NonemptyWitnessesRequired) {
+  dsl::Combiner c = dsl::combiner_concat();
+  EXPECT_EQ(e_representative(c, {obs("", "")}), false);
+  EXPECT_EQ(e_representative(c, {obs("x\n", "")}), false);
+  EXPECT_EQ(e_representative(c, {obs("x\n", ""), obs("", "y\n")}), true);
+}
+
+TEST(EFuse, PiecewiseEvidence) {
+  dsl::Combiner fa = dsl::combiner_fuse_add(' ');
+  EXPECT_EQ(e_representative(fa, {obs("1 2", "3 4")}), true);
+  EXPECT_EQ(e_representative(fa, {obs("0 0", "0 0")}), false);
+}
+
+TEST(TPred, DetectsTables) {
+  EXPECT_TRUE(t_pred({obs("      1 apple\n", "      2 pear\n")}));
+  EXPECT_EQ(table_delimiter({obs("      1 apple\n", "      2 pear\n")}),
+            ' ');
+  // Lines without any delimiter are not table rows.
+  EXPECT_FALSE(t_pred({obs("apple\n", "pear\n")}));
+}
+
+TEST(EStruct, NeedsBoundaryWitness) {
+  // Definition B.15 clause (1) wants an observation whose boundary lines
+  // are *fully equal* with significant characters and a further non-empty
+  // line in y2; clause (2) additionally wants same-tail rows with
+  // differing heads when the outputs are table-shaped.
+  std::vector<Observation> good = {
+      obs("      2 apple\n      1 pear\n", "      1 pear\n      1 fig\n"),
+      obs("      2 pear\n", "      1 pear\n      3 kiwi\n")};
+  EXPECT_TRUE(e_struct(good));
+  // No fully-equal boundary line: insufficient.
+  std::vector<Observation> no_boundary = {
+      obs("      2 apple\n", "      3 fig\n      1 kiwi\n")};
+  EXPECT_FALSE(e_struct(no_boundary));
+  // Equal boundary but all heads equal on same-tail rows: clause (2)
+  // fails for table-shaped outputs.
+  std::vector<Observation> equal_heads = {
+      obs("      1 pear\n", "      1 pear\n      1 fig\n")};
+  EXPECT_FALSE(e_struct(equal_heads));
+}
+
+TEST(Certify, WcGetsRecCertificate) {
+  auto argv = text::shell_split("wc -l");
+  cmd::CommandPtr f = cmd::make_command(*argv);
+  SynthesisResult r = synthesize(*f, *argv);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.sufficiency.verdict, "rec-certified");
+}
+
+TEST(Certify, TrGetsRecCertificate) {
+  auto argv = text::shell_split("tr A-Z a-z");
+  cmd::CommandPtr f = cmd::make_command(*argv);
+  SynthesisResult r = synthesize(*f, *argv);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.sufficiency.verdict, "rec-certified");
+}
+
+TEST(Certify, UniqCountGetsStructCertificate) {
+  auto argv = text::shell_split("uniq -c");
+  cmd::CommandPtr f = cmd::make_command(*argv);
+  SynthesisResult r = synthesize(*f, *argv);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.sufficiency.verdict, "struct-certified");
+}
+
+TEST(Certify, RerunOnlyIsUncertified) {
+  // The theorems only cover RecOp/StructOp survivors; rerun-only results
+  // (tr -cs) carry no certificate.
+  auto argv = text::shell_split("tr -cs A-Za-z '\\n'");
+  cmd::CommandPtr f = cmd::make_command(*argv);
+  SynthesisResult r = synthesize(*f, *argv);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.sufficiency.verdict, "uncertified");
+}
+
+}  // namespace
+}  // namespace kq::synth

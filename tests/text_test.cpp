@@ -1,0 +1,260 @@
+// Unit tests for the text substrate: splitting, streams, padding, numbers,
+// shell words.
+
+#include <gtest/gtest.h>
+
+#include "text/numbers.h"
+#include "text/padding.h"
+#include "text/shellwords.h"
+#include "text/streams.h"
+#include "text/strings.h"
+
+namespace kq::text {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, EmptyString) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, NoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingDelimiter) {
+  auto parts = split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Join, RoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(join(parts, ':'), "x::yz");
+}
+
+TEST(CountChar, CountsOccurrences) {
+  EXPECT_EQ(count_char("a,b,,c", ','), 3u);
+  EXPECT_EQ(count_char("", ','), 0u);
+  EXPECT_TRUE(contains_char("ab\nc", '\n'));
+  EXPECT_FALSE(contains_char("abc", '\n'));
+}
+
+TEST(Case, ToLowerUpper) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(to_upper("MiXeD 123"), "MIXED 123");
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(Trim, StripsDefaultSet) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim("\t\t"), "");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("h", "he"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("o", "lo"));
+}
+
+TEST(Streams, IsStream) {
+  EXPECT_TRUE(is_stream("a\n"));
+  EXPECT_TRUE(is_stream("\n"));
+  EXPECT_FALSE(is_stream(""));
+  EXPECT_FALSE(is_stream("a"));
+}
+
+TEST(Streams, Lines) {
+  auto ls = lines("a\nb\n");
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_EQ(ls[0], "a");
+  EXPECT_EQ(ls[1], "b");
+  EXPECT_TRUE(lines("").empty());
+  ASSERT_EQ(lines("\n").size(), 1u);
+  EXPECT_EQ(lines("\n")[0], "");
+}
+
+TEST(Streams, LinesWithUnterminatedTail) {
+  auto ls = lines("a\nb");
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_EQ(ls[1], "b");
+}
+
+TEST(Streams, UnlinesInvertsLines) {
+  std::vector<std::string> ls = {"x", "", "y"};
+  EXPECT_EQ(unlines(ls), "x\n\ny\n");
+}
+
+TEST(Streams, SplitFirst) {
+  auto r = split_first("a b c", ' ');
+  EXPECT_EQ(r.head, "a");
+  ASSERT_TRUE(r.tail.has_value());
+  EXPECT_EQ(*r.tail, "b c");
+
+  auto none = split_first("abc", ' ');
+  EXPECT_EQ(none.head, "abc");
+  EXPECT_FALSE(none.tail.has_value());
+}
+
+TEST(Streams, SplitLast) {
+  auto r = split_last("a b c", ' ');
+  EXPECT_EQ(r.head, "a b");
+  ASSERT_TRUE(r.tail.has_value());
+  EXPECT_EQ(*r.tail, "c");
+}
+
+TEST(Streams, SplitLastLineMultiline) {
+  auto r = split_last_line("a\nbb\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.head, "a\n");
+  EXPECT_EQ(r.line, "bb");
+}
+
+TEST(Streams, SplitLastLineSingleLine) {
+  auto r = split_last_line("abc\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.head, "");
+  EXPECT_EQ(r.line, "abc");
+}
+
+TEST(Streams, SplitLastLineRejectsNonStream) {
+  EXPECT_FALSE(split_last_line("abc").ok);
+  EXPECT_FALSE(split_last_line("").ok);
+}
+
+TEST(Streams, SplitFirstLine) {
+  auto r = split_first_line("a\nb\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.line, "a");
+  EXPECT_EQ(r.tail, "b\n");
+  EXPECT_FALSE(split_first_line("abc").ok);
+}
+
+TEST(Streams, SplitLastNonemptyLine) {
+  auto r = split_last_nonempty_line("a\nb\n\n\n");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.line, "b");
+  EXPECT_EQ(r.head, "a\n");
+
+  auto all_empty = split_last_nonempty_line("\n\n");
+  EXPECT_FALSE(all_empty.ok);
+}
+
+TEST(Padding, DelPadSpaces) {
+  auto u = del_pad("   42 abc");
+  EXPECT_EQ(u.pad, 3u);
+  EXPECT_FALSE(u.tab);
+  EXPECT_EQ(u.rest, "42 abc");
+}
+
+TEST(Padding, DelPadTab) {
+  auto u = del_pad("\t42");
+  EXPECT_EQ(u.pad, 1u);
+  EXPECT_TRUE(u.tab);
+  EXPECT_EQ(u.rest, "42");
+}
+
+TEST(Padding, DelPadNone) {
+  auto u = del_pad("42");
+  EXPECT_EQ(u.pad, 0u);
+  EXPECT_EQ(u.rest, "42");
+}
+
+TEST(Padding, AddPadRightAligns) {
+  EXPECT_EQ(add_pad("7", 7), "      7");
+  EXPECT_EQ(add_pad("1234567", 7), "1234567");
+  EXPECT_EQ(add_pad("12345678", 7), "12345678");
+}
+
+TEST(Padding, PadToWidthPreservesColumn) {
+  // uniq -c style: "      1 word" + "      1 word" -> count 2 keeps width.
+  EXPECT_EQ(pad_to_width("2", "word", ' ', 7), "      2 word");
+  EXPECT_EQ(pad_to_width("100", "word", ' ', 7), "    100 word");
+}
+
+TEST(Numbers, IsAllDigits) {
+  EXPECT_TRUE(is_all_digits("0123"));
+  EXPECT_FALSE(is_all_digits(""));
+  EXPECT_FALSE(is_all_digits("12a"));
+  EXPECT_FALSE(is_all_digits("-1"));
+}
+
+TEST(Numbers, ParseDigits) {
+  EXPECT_EQ(parse_digits("42").value(), 42u);
+  EXPECT_EQ(parse_digits("000").value(), 0u);
+  EXPECT_FALSE(parse_digits("1e3").has_value());
+  EXPECT_FALSE(parse_digits("99999999999999999999999").has_value());
+}
+
+TEST(Numbers, AddDigitStrings) {
+  EXPECT_EQ(add_digit_strings("2", "3").value(), "5");
+  // Canonical rendering: no leading zeros survive.
+  EXPECT_EQ(add_digit_strings("007", "01").value(), "8");
+  EXPECT_FALSE(add_digit_strings("a", "1").has_value());
+}
+
+TEST(ShellWords, BasicSplit) {
+  auto w = shell_split("tr -cs A-Za-z '\\n'");
+  ASSERT_TRUE(w.has_value());
+  ASSERT_EQ(w->size(), 4u);
+  EXPECT_EQ((*w)[0], "tr");
+  EXPECT_EQ((*w)[1], "-cs");
+  EXPECT_EQ((*w)[2], "A-Za-z");
+  EXPECT_EQ((*w)[3], "\\n");  // single quotes keep the backslash literal
+}
+
+TEST(ShellWords, DoubleQuotes) {
+  auto w = shell_split("awk \"length >= 16\"");
+  ASSERT_TRUE(w.has_value());
+  ASSERT_EQ(w->size(), 2u);
+  EXPECT_EQ((*w)[1], "length >= 16");
+}
+
+TEST(ShellWords, EscapedDollarInDoubleQuotes) {
+  auto w = shell_split("awk \"\\$1 >= 2\"");
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ((*w)[1], "$1 >= 2");
+}
+
+TEST(ShellWords, UnterminatedQuoteFails) {
+  EXPECT_FALSE(shell_split("echo 'oops").has_value());
+  EXPECT_FALSE(shell_split("echo \"oops").has_value());
+}
+
+TEST(ShellWords, BackslashOutsideQuotes) {
+  auto w = shell_split("grep \\(x\\)");
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ((*w)[1], "(x)");
+}
+
+TEST(SplitPipeline, RespectsQuotes) {
+  auto stages = split_pipeline("cut -d '|' -f 1 | sort");
+  ASSERT_TRUE(stages.has_value());
+  ASSERT_EQ(stages->size(), 2u);
+  EXPECT_EQ((*stages)[0], "cut -d '|' -f 1 ");
+  EXPECT_EQ((*stages)[1], " sort");
+}
+
+TEST(SplitPipeline, SingleStage) {
+  auto stages = split_pipeline("sort -rn");
+  ASSERT_TRUE(stages.has_value());
+  EXPECT_EQ(stages->size(), 1u);
+}
+
+}  // namespace
+}  // namespace kq::text
