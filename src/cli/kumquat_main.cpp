@@ -3,14 +3,20 @@
 //
 //   kumquat synthesize '<command>'          synthesize and print combiners
 //   kumquat compile '<pipeline>'            print the parallel plan
-//   kumquat run [-k N] [--no-opt] '<pipeline>'
-//                                           execute data-parallel,
+//   kumquat run [-k N] [--no-opt] [--stream|--batch] [--block-size N]
+//               '<pipeline>'                execute data-parallel,
 //                                           stdin -> stdout
+//
+// `run` defaults to the streaming dataflow runtime (src/stream/): stdin is
+// consumed in record-aligned blocks and never materialized whole, so
+// memory stays bounded on arbitrarily large inputs. `--batch` selects the
+// original in-memory staged runner.
 //
 // Commands resolve to built-ins when known, otherwise to real binaries
 // through fork/exec — new commands work without any registry change,
 // which is the point of the paper.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -18,6 +24,7 @@
 #include "compile/optimize.h"
 #include "compile/plan.h"
 #include "procexec/external_command.h"
+#include "stream/dataflow.h"
 #include "text/shellwords.h"
 #include "unixcmd/registry.h"
 
@@ -115,26 +122,72 @@ int cmd_compile(const std::string& pipeline) {
   return 0;
 }
 
-int cmd_run(const std::string& pipeline, int k, bool optimize) {
+int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
+            std::size_t block_size) {
   auto compiled = compile_line(pipeline);
   if (!compiled) return 2;
+  exec::ThreadPool pool(k);
+
+  if (streaming) {
+    // Streaming dataflow path: stdin is pulled through a BlockReader in
+    // record-aligned blocks, never materialized whole.
+    std::ios::sync_with_stdio(false);
+    stream::StreamConfig config;
+    config.parallelism = k;
+    config.block_size = block_size;
+    config.use_elimination = optimize;
+    stream::StreamResult result = stream::run_streaming(
+        compiled->stages, std::cin, std::cout, pool, config);
+    std::cout.flush();
+    if (!result.ok) {
+      std::cerr << "kumquat: streaming run failed: " << result.error
+                << " (rerun with --batch)\n";
+      return 1;
+    }
+    std::cerr << "kumquat: " << result.seconds << " s at k=" << k
+              << ", streaming, peak " << result.peak_inflight_bytes
+              << " bytes in flight\n";
+    return 0;
+  }
+
   std::ostringstream buffer;
   buffer << std::cin.rdbuf();
   std::string input = buffer.str();
-  exec::ThreadPool pool(k);
   exec::RunResult result =
       exec::run_pipeline(compiled->stages, input, pool, {k, optimize});
   std::cout << result.output;
-  std::cerr << "kumquat: " << result.seconds << " s at k=" << k << "\n";
+  std::cerr << "kumquat: " << result.seconds << " s at k=" << k
+            << ", batch\n";
   return 0;
+}
+
+// Parses "1048576", "64K", "4M", "1G" (case-insensitive suffixes).
+// Returns 0 (rejected) on trailing garbage or sizes outside [1, 1 TiB].
+std::size_t parse_block_size(const char* text) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || value <= 0) return 0;
+  double unit = 1;
+  if (*end == 'k' || *end == 'K') unit = 1024, ++end;
+  else if (*end == 'm' || *end == 'M') unit = 1024.0 * 1024, ++end;
+  else if (*end == 'g' || *end == 'G') unit = 1024.0 * 1024 * 1024, ++end;
+  if (*end != '\0') return 0;
+  double bytes = value * unit;
+  if (bytes < 1 || bytes > 1099511627776.0) return 0;  // cast-safe bound
+  return static_cast<std::size_t>(bytes);
 }
 
 void usage() {
   std::cerr << "usage:\n"
                "  kumquat synthesize '<command>'\n"
                "  kumquat compile '<pipeline>'\n"
-               "  kumquat run [-k N] [--no-opt] '<pipeline>'  (stdin -> "
-               "stdout)\n";
+               "  kumquat run [-k N] [--no-opt] [--stream|--batch]\n"
+               "              [--block-size N[K|M|G]] '<pipeline>'  (stdin -> "
+               "stdout)\n"
+               "\n"
+               "  run executes the streaming dataflow runtime by default\n"
+               "  (bounded memory, default 1M blocks); --batch selects the\n"
+               "  in-memory staged runner.\n";
 }
 
 }  // namespace
@@ -150,21 +203,29 @@ int main(int argc, char** argv) {
   if (verb == "run") {
     int k = 4;
     bool optimize = true;
+    bool streaming = true;
+    std::size_t block_size = 1 << 20;
     std::string pipeline;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
         k = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--no-opt") == 0) {
         optimize = false;
+      } else if (std::strcmp(argv[i], "--stream") == 0) {
+        streaming = true;
+      } else if (std::strcmp(argv[i], "--batch") == 0) {
+        streaming = false;
+      } else if (std::strcmp(argv[i], "--block-size") == 0 && i + 1 < argc) {
+        block_size = parse_block_size(argv[++i]);
       } else {
         pipeline = argv[i];
       }
     }
-    if (pipeline.empty() || k < 1) {
+    if (pipeline.empty() || k < 1 || block_size == 0) {
       usage();
       return 2;
     }
-    return cmd_run(pipeline, k, optimize);
+    return cmd_run(pipeline, k, optimize, streaming, block_size);
   }
   usage();
   return 2;

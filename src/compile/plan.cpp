@@ -1,5 +1,6 @@
 #include "compile/plan.h"
 
+#include "dsl/ast.h"
 #include "unixcmd/registry.h"
 
 namespace kq::compile {
@@ -70,6 +71,13 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
     stage.parallel = p.parallel;
     stage.eliminate_combiner = p.eliminate;
     if (p.synthesis && p.synthesis->success) {
+      stage.concat_combiner = p.synthesis->combiner.concat_equivalent() &&
+                              p.synthesis->outputs_newline_terminated;
+      stage.defer_combine = !p.synthesis->combiner.combiners().empty();
+      for (const dsl::Combiner& g : p.synthesis->combiner.combiners()) {
+        if (g.node->op != dsl::Op::kMerge && g.node->op != dsl::Op::kRerun)
+          stage.defer_combine = false;
+      }
       stage.combiner_name = p.synthesis->combiner.to_string();
       synth::CompositeCombiner combiner = p.synthesis->combiner;
       cmd::CommandPtr command = p.command;

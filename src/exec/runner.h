@@ -26,6 +26,15 @@ struct ExecStage {
   KWayCombine combine;             // null for sequential stages
   bool parallel = false;           // data-parallel execution planned
   bool eliminate_combiner = false; // Theorem 5 optimization applies
+  // Plain concat is plausible and outputs are newline-terminated streams:
+  // the streaming runtime may emit chunk outputs downstream in input order
+  // instead of materializing the combined stream (Theorem 5's precondition,
+  // usable even where batch elimination does not apply).
+  bool concat_combiner = false;
+  // Every plausible combiner is merge or rerun: incremental pairwise folding
+  // buys nothing (the partial outputs must be held whole anyway), so the
+  // streaming runtime defers to one k-way combine at end of stream.
+  bool defer_combine = false;
   std::string combiner_name;       // for reports
 };
 

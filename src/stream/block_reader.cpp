@@ -1,0 +1,94 @@
+#include "stream/block_reader.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <istream>
+
+namespace kq::stream {
+namespace {
+
+BlockReaderOptions sanitize(BlockReaderOptions options) {
+  options.block_size = std::max<std::size_t>(1, options.block_size);
+  return options;
+}
+
+BlockReader::ReadFn stream_source(std::istream& in,
+                                  std::shared_ptr<int> error) {
+  return [&in, error = std::move(error)](char* buf,
+                                         std::size_t n) -> std::size_t {
+    in.read(buf, static_cast<std::streamsize>(n));
+    if (in.bad()) *error = EIO;  // lost the stream, not just EOF
+    return static_cast<std::size_t>(in.gcount());
+  };
+}
+
+BlockReader::ReadFn fd_source(int fd, std::shared_ptr<int> error) {
+  return [fd, error = std::move(error)](char* buf,
+                                        std::size_t n) -> std::size_t {
+    while (true) {
+      ssize_t got = ::read(fd, buf, n);
+      if (got >= 0) return static_cast<std::size_t>(got);
+      if (errno != EINTR) {  // hard error: flag it, end the stream
+        *error = errno;
+        return 0;
+      }
+    }
+  };
+}
+
+}  // namespace
+
+BlockReader::BlockReader(std::istream& in, BlockReaderOptions options)
+    : read_(stream_source(in, error_)), options_(sanitize(options)) {}
+
+BlockReader::BlockReader(int fd, BlockReaderOptions options)
+    : read_(fd_source(fd, error_)), options_(sanitize(options)) {}
+
+BlockReader::BlockReader(ReadFn read, BlockReaderOptions options)
+    : read_(std::move(read)), options_(sanitize(options)) {}
+
+void BlockReader::fill() {
+  std::size_t old = pending_.size();
+  pending_.resize(old + options_.block_size);
+  std::size_t got = read_(pending_.data() + old, options_.block_size);
+  pending_.resize(old + got);
+  if (got == 0) eof_ = true;
+}
+
+std::optional<std::string> BlockReader::next() {
+  while (!eof_ && pending_.size() < options_.block_size) fill();
+  if (pending_.empty()) return std::nullopt;
+
+  std::size_t cut;
+  if (eof_ && pending_.size() <= options_.block_size) {
+    // Everything left fits in one block; a missing trailing delimiter just
+    // means the final block carries a partial last record.
+    cut = pending_.size();
+  } else {
+    std::size_t last = pending_.rfind(options_.delimiter,
+                                      options_.block_size - 1);
+    if (last != std::string::npos) {
+      cut = last + 1;  // the delimiter stays with its record
+    } else {
+      // A single record longer than the block: extend until its terminating
+      // delimiter (or end of input) so the record is never split.
+      std::size_t from = options_.block_size;
+      std::size_t end = pending_.find(options_.delimiter, from);
+      while (end == std::string::npos && !eof_) {
+        from = pending_.size();
+        fill();
+        end = pending_.find(options_.delimiter, from);
+      }
+      cut = (end == std::string::npos) ? pending_.size() : end + 1;
+    }
+  }
+
+  std::string block = pending_.substr(0, cut);
+  pending_.erase(0, cut);
+  bytes_delivered_ += block.size();
+  return block;
+}
+
+}  // namespace kq::stream

@@ -1,0 +1,64 @@
+// Record-aligned block acquisition for the streaming runtime. A BlockReader
+// turns a byte source (std::istream, file descriptor, or arbitrary read
+// callback) into a sequence of blocks of roughly `block_size` bytes whose
+// boundaries always fall on record boundaries: every delivered block except
+// possibly the last ends with the record delimiter, so no record is ever
+// split across blocks and each block is itself a stream in the paper's
+// Definition 3.1 sense (the splitter contract of §2, generalized from
+// whole-input splitting to bounded incremental reads).
+//
+// The delimiter defaults to '\n' (the stream model's record terminator; see
+// src/prep/delimiters.* for how per-command delimiter alphabets are probed)
+// but is configurable for delimiter-probed stages. CRLF input needs no
+// special casing — CR bytes travel with their record. A record longer than
+// `block_size` is delivered as one oversized block rather than split; input
+// with no trailing delimiter delivers its final partial record as the last
+// block.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace kq::stream {
+
+struct BlockReaderOptions {
+  std::size_t block_size = 1 << 20;  // target block size in bytes
+  char delimiter = '\n';             // record terminator to realign on
+};
+
+class BlockReader {
+ public:
+  // Reads up to `n` bytes into `buf`; returns the count, 0 at end of input.
+  using ReadFn = std::function<std::size_t(char* buf, std::size_t n)>;
+
+  BlockReader(std::istream& in, BlockReaderOptions options = {});
+  BlockReader(int fd, BlockReaderOptions options = {});
+  BlockReader(ReadFn read, BlockReaderOptions options = {});
+
+  // The next record-aligned block, or nullopt once the source is exhausted.
+  std::optional<std::string> next();
+
+  std::size_t bytes_delivered() const { return bytes_delivered_; }
+  const BlockReaderOptions& options() const { return options_; }
+
+  // Nonzero errno-style code when the source failed mid-stream (read(2)
+  // error, istream badbit) — the stream delivered so far is a truncated
+  // prefix, not the whole input. 0 means clean end of input.
+  int error() const { return *error_; }
+
+ private:
+  void fill();  // pulls one more block-sized slab into pending_
+
+  std::shared_ptr<int> error_ = std::make_shared<int>(0);
+  ReadFn read_;
+  BlockReaderOptions options_;
+  std::string pending_;  // bytes read but not yet delivered
+  bool eof_ = false;
+  std::size_t bytes_delivered_ = 0;
+};
+
+}  // namespace kq::stream

@@ -1,0 +1,80 @@
+#include "stream/channel.h"
+
+namespace kq::stream {
+
+void MemoryGauge::add(std::size_t n) {
+  std::size_t now = current_.fetch_add(n) + n;
+  std::size_t seen = peak_.load();
+  while (seen < now && !peak_.compare_exchange_weak(seen, now)) {
+  }
+}
+
+void MemoryGauge::sub(std::size_t n) { current_.fetch_sub(n); }
+
+Channel::Channel(std::size_t capacity, MemoryGauge* gauge)
+    : capacity_(capacity == 0 ? 1 : capacity), gauge_(gauge) {}
+
+bool Channel::push(Chunk chunk) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  if (gauge_) gauge_->add(chunk.bytes.size());
+  queue_.push_back(std::move(chunk));
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Chunk> Channel::pop() {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Chunk chunk = std::move(queue_.front());
+  queue_.pop_front();
+  if (gauge_) gauge_->sub(chunk.bytes.size());
+  not_full_.notify_one();
+  return chunk;
+}
+
+void Channel::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+void Channel::abort() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  aborted_ = true;
+  if (gauge_) {
+    for (const Chunk& c : queue_) gauge_->sub(c.bytes.size());
+  }
+  queue_.clear();
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+Semaphore::Semaphore(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
+
+bool Semaphore::acquire() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return cancelled_ || slots_ > 0; });
+  if (cancelled_) return false;
+  --slots_;
+  return true;
+}
+
+void Semaphore::release() {
+  std::lock_guard lock(mu_);
+  ++slots_;
+  cv_.notify_one();
+}
+
+void Semaphore::cancel() {
+  std::lock_guard lock(mu_);
+  cancelled_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace kq::stream

@@ -1,0 +1,97 @@
+// Bounded chunk queues connecting dataflow nodes. A Channel carries
+// record-aligned chunks between a producer node and a consumer node with
+// blocking backpressure on both sides, so the bytes in flight across the
+// whole graph stay O(capacity · block_size) regardless of input size — the
+// property that lets the streaming runtime chew through inputs larger than
+// RAM. A Semaphore bounds the number of chunks a segment may have in
+// flight through the worker pool (its feeder acquires per submitted chunk,
+// its collector releases per emitted chunk).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace kq::stream {
+
+struct Chunk {
+  std::size_t index = 0;  // position in the segment's input order
+  std::string bytes;
+};
+
+// Chunks with this index are control nudges, not data (see dataflow.cpp).
+inline constexpr std::size_t kControlChunk = static_cast<std::size_t>(-1);
+
+// Shared accounting of bytes resident in channels; `peak` is the
+// high-water mark over the run, the runtime's bounded-memory witness.
+class MemoryGauge {
+ public:
+  void add(std::size_t n);
+  void sub(std::size_t n);
+  std::size_t current() const { return current_.load(); }
+  std::size_t peak() const { return peak_.load(); }
+
+ private:
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity, MemoryGauge* gauge = nullptr);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Blocks while the channel is full. Returns false (dropping the chunk)
+  // once the channel is closed or aborted.
+  bool push(Chunk chunk);
+
+  // Blocks while the channel is empty. Returns nullopt once the channel is
+  // closed and drained (or aborted).
+  std::optional<Chunk> pop();
+
+  // End of stream: no further pushes succeed; pending chunks remain
+  // poppable.
+  void close();
+
+  // Error teardown: close and discard pending chunks so blocked peers wake
+  // immediately.
+  void abort();
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  MemoryGauge* const gauge_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Chunk> queue_;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(std::size_t slots);
+
+  // Blocks until a slot is free; returns false once cancelled.
+  bool acquire();
+  void release();
+
+  // Wakes every waiter and makes all future acquires fail (error teardown).
+  void cancel();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t slots_;
+  bool cancelled_ = false;
+};
+
+}  // namespace kq::stream

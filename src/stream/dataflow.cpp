@@ -1,0 +1,532 @@
+#include "stream/dataflow.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "stream/block_reader.h"
+#include "stream/channel.h"
+
+namespace kq::stream {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// A pipeline segment: one node of the dataflow graph. Sequential stages
+// become single-stage drain nodes; consecutive parallel stages joined by
+// eliminated combiners fuse into one worker chain whose chunk outputs are
+// combined by the final stage's combiner.
+struct Segment {
+  std::vector<const exec::ExecStage*> chain;
+  bool parallel = false;
+  bool emit_concat = false;  // combiner is concat: emit instead of folding
+  const exec::ExecStage* combine_stage = nullptr;
+
+  std::string display() const {
+    std::string out;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (i) out += " | ";
+      out += chain[i]->command->display_name();
+    }
+    return out;
+  }
+};
+
+std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
+                                    const StreamConfig& config) {
+  std::vector<Segment> segments;
+  const bool parallel_ok = config.parallelism > 1;
+  std::size_t i = 0;
+  while (i < stages.size()) {
+    Segment seg;
+    seg.chain.push_back(&stages[i]);
+    if (stages[i].parallel && parallel_ok && stages[i].combine) {
+      seg.parallel = true;
+      // Mirror the batch runner's elimination condition: a stage whose
+      // concat combiner is eliminated feeds its substreams straight into
+      // the next parallel stage, which here means fusing both into one
+      // worker chain.
+      while (config.use_elimination && seg.chain.back()->eliminate_combiner &&
+             i + 1 < stages.size() && stages[i + 1].parallel &&
+             stages[i + 1].combine) {
+        ++i;
+        seg.chain.push_back(&stages[i]);
+      }
+      seg.combine_stage = seg.chain.back();
+      seg.emit_concat = seg.combine_stage->concat_combiner;
+    }
+    ++i;
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+// State shared by every node of one run: the memory gauge, the first
+// failure, and the teardown fan-out that unblocks all waiting nodes.
+struct Shared {
+  MemoryGauge gauge;
+  std::atomic<bool> failed{false};
+  std::atomic<bool> stopped{false};  // sink asked for an early stop
+  std::atomic<bool> combine_undefined{false};
+  std::mutex error_mu;
+  std::string error;
+  std::vector<Channel*> channels;     // populated before threads start
+  std::vector<Semaphore*> semaphores;
+
+  bool halted() const { return failed.load() || stopped.load(); }
+
+  void teardown() {
+    for (Channel* c : channels) c->abort();
+    for (Semaphore* s : semaphores) s->cancel();
+  }
+
+  void fail(const std::string& message) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      std::lock_guard lock(error_mu);
+      error = message;
+    }
+    teardown();
+  }
+
+  void stop() {  // clean early exit, not an error
+    stopped.store(true);
+    teardown();
+  }
+};
+
+using Pull = std::function<std::optional<std::string>()>;
+using Push = std::function<bool(std::string&&)>;
+
+// Re-blocks a combined stream for downstream consumption, cutting only at
+// record boundaries (records longer than a block travel whole).
+bool emit_blocks(std::string_view data, const Push& push,
+                 const StreamConfig& config) {
+  while (data.size() > config.block_size) {
+    std::size_t cut = data.rfind(config.delimiter, config.block_size - 1);
+    if (cut == std::string_view::npos) {
+      cut = data.find(config.delimiter, config.block_size);
+      if (cut == std::string_view::npos) break;
+    }
+    if (!push(std::string(data.substr(0, cut + 1)))) return false;
+    data.remove_prefix(cut + 1);
+  }
+  if (!data.empty()) return push(std::string(data));
+  return true;
+}
+
+// Per-parallel-segment runtime state. `completion` lets the driver wait for
+// straggler pool tasks before tearing the graph down.
+struct ParallelCtx {
+  ParallelCtx(std::size_t inflight, MemoryGauge* gauge)
+      : results(inflight + 1, gauge), slots(inflight) {}
+
+  Channel results;
+  Semaphore slots;
+  std::vector<const cmd::Command*> chain;
+  std::atomic<std::ptrdiff_t> expected{-1};  // chunk count, once known
+
+  std::mutex completion_mu;
+  std::condition_variable completion_cv;
+  std::size_t tasks_submitted = 0;  // feeder thread only
+  std::size_t tasks_finished = 0;   // guarded by completion_mu
+
+  void task_done() {
+    std::lock_guard lock(completion_mu);
+    ++tasks_finished;
+    completion_cv.notify_all();
+  }
+
+  // Call only after the feeder thread has been joined.
+  void wait_idle() {
+    std::unique_lock lock(completion_mu);
+    completion_cv.wait(lock,
+                       [this] { return tasks_finished == tasks_submitted; });
+  }
+};
+
+// Feeder: pulls record-aligned pieces, coalesces them toward block_size,
+// and fans chunks out to the worker pool under the in-flight bound.
+void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
+                Shared& shared, exec::ThreadPool& pool,
+                const StreamConfig& config) {
+  std::size_t index = 0;
+  std::string buf;
+
+  auto submit = [&](std::string&& data) {
+    if (!ctx.slots.acquire()) return false;
+    metrics.chunks += 1;
+    metrics.in_bytes += data.size();
+    shared.gauge.add(data.size());
+    ++ctx.tasks_submitted;
+    std::size_t idx = index++;
+    ParallelCtx* c = &ctx;
+    Shared* sh = &shared;
+    pool.submit([data = std::move(data), idx, c, sh]() mutable {
+      std::size_t in_size = data.size();
+      try {
+        std::string current = std::move(data);
+        for (const cmd::Command* stage : c->chain)
+          current = stage->run(current);
+        c->results.push(Chunk{idx, std::move(current)});
+      } catch (const std::exception& e) {
+        sh->fail(std::string("worker failed: ") + e.what());
+      }
+      sh->gauge.sub(in_size);
+      c->task_done();
+    });
+    return true;
+  };
+
+  while (auto piece = pull()) {
+    if (shared.halted()) break;
+    if (buf.empty() && piece->size() >= config.block_size) {
+      if (!submit(std::move(*piece))) break;
+      continue;
+    }
+    buf += *piece;
+    if (buf.size() >= config.block_size) {
+      if (!submit(std::move(buf))) break;
+      buf.clear();
+    }
+  }
+  if (!shared.halted()) {
+    if (!buf.empty()) submit(std::move(buf));
+    // Empty input still runs the chain once, mirroring the batch splitter's
+    // single empty chunk, so f("") reaches the output.
+    if (index == 0) submit(std::string());
+  }
+  ctx.expected.store(static_cast<std::ptrdiff_t>(index));
+  ctx.results.push(Chunk{kControlChunk, {}});  // wake the collector
+}
+
+// Collector: restores input order, then either emits chunk outputs
+// immediately (concat combiners) or folds them incrementally with doubling
+// group sizes (total fold work O(output · log chunks)).
+void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
+                   const Push& push, const std::function<void()>& close_out,
+                   Shared& shared, const StreamConfig& config) {
+  std::map<std::size_t, std::string> out_of_order;
+  std::size_t next_emit = 0;
+  std::string acc;
+  bool have_acc = false;
+  std::vector<std::string> group;
+  std::size_t group_bytes = 0;
+
+  auto flush_group = [&]() -> bool {
+    if (group.empty()) return true;
+    std::vector<std::string> parts;
+    parts.reserve(group.size() + 1);
+    if (have_acc) parts.push_back(std::move(acc));
+    for (std::string& p : group) parts.push_back(std::move(p));
+    group.clear();
+    group_bytes = 0;
+    std::optional<std::string> combined = seg.combine_stage->combine(parts);
+    if (!combined) return false;
+    acc = std::move(*combined);
+    have_acc = true;
+    return true;
+  };
+
+  auto take_part = [&](std::string&& part) -> bool {
+    if (seg.emit_concat) {
+      metrics.out_bytes += part.size();
+      if (part.empty()) return true;
+      return push(std::move(part));
+    }
+    group_bytes += part.size();
+    group.push_back(std::move(part));
+    // Merge/rerun combiners hold their partial outputs whole regardless, so
+    // a single k-way combine at end of stream beats incremental folding;
+    // everything else folds with doubling group sizes.
+    if (!seg.combine_stage->defer_combine &&
+        group_bytes >= std::max(config.block_size, acc.size()))
+      return flush_group();
+    return true;
+  };
+
+  bool failed_here = false;
+  while (true) {
+    std::ptrdiff_t expected = ctx.expected.load();
+    if (expected >= 0 && next_emit == static_cast<std::size_t>(expected))
+      break;
+    std::optional<Chunk> chunk = ctx.results.pop();
+    if (!chunk) {  // aborted
+      failed_here = true;
+      break;
+    }
+    if (chunk->index == kControlChunk) continue;  // nudge: recheck expected
+    out_of_order[chunk->index] = std::move(chunk->bytes);
+    while (!out_of_order.empty() &&
+           out_of_order.begin()->first == next_emit) {
+      std::string part = std::move(out_of_order.begin()->second);
+      out_of_order.erase(out_of_order.begin());
+      bool ok = take_part(std::move(part));
+      ctx.slots.release();
+      ++next_emit;
+      if (!ok) {
+        if (!shared.halted()) {
+          shared.combine_undefined.store(true);
+          shared.fail("incremental combine undefined for stage '" +
+                      seg.combine_stage->command->display_name() + "'");
+        }
+        failed_here = true;
+        break;
+      }
+    }
+    if (failed_here) break;
+  }
+
+  if (!failed_here && !shared.halted()) {
+    bool ok = flush_group();
+    if (ok && !seg.emit_concat && have_acc) {
+      metrics.out_bytes += acc.size();
+      ok = emit_blocks(acc, push, config);
+    }
+    if (!ok && !shared.halted()) {
+      shared.combine_undefined.store(true);
+      shared.fail("incremental combine undefined for stage '" +
+                  seg.combine_stage->command->display_name() + "'");
+    }
+  }
+  close_out();
+}
+
+// Sequential pass-through node: drains its input in order, runs the stage
+// once on the whole stream, and re-blocks the output for downstream nodes.
+void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
+                    const Push& push, const std::function<void()>& close_out,
+                    Shared& shared, const StreamConfig& config) {
+  std::string all;
+  while (auto piece = pull()) {
+    if (shared.halted()) break;
+    all += *piece;
+  }
+  if (!shared.halted()) {
+    metrics.chunks = 1;
+    metrics.in_bytes = all.size();
+    std::string out = seg.chain.front()->command->run(all);
+    all.clear();
+    all.shrink_to_fit();
+    metrics.out_bytes = out.size();
+    emit_blocks(out, push, config);
+  }
+  close_out();
+}
+
+StreamConfig sanitize(StreamConfig config) {
+  if (config.parallelism < 1) config.parallelism = 1;
+  if (config.block_size == 0) config.block_size = 1;
+  if (config.max_inflight == 0)
+    config.max_inflight =
+        2 * static_cast<std::size_t>(config.parallelism) + 2;
+  return config;
+}
+
+StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
+                                BlockReader& reader, const Sink& sink,
+                                exec::ThreadPool& pool,
+                                const StreamConfig& raw_config) {
+  const StreamConfig config = sanitize(raw_config);
+  StreamResult result;
+  auto start = Clock::now();
+
+  if (stages.empty()) {  // identity pipeline: forward blocks
+    while (auto block = reader.next()) {
+      if (!sink(*block)) {
+        result.stopped_early = true;
+        break;
+      }
+    }
+    if (!result.stopped_early && reader.error() != 0) {
+      result.ok = false;
+      result.error = "input read error (errno " +
+                     std::to_string(reader.error()) + "): output truncated";
+    }
+    result.seconds = seconds_since(start);
+    return result;
+  }
+
+  std::vector<Segment> segments = build_segments(stages, config);
+  const std::size_t n = segments.size();
+
+  Shared shared;
+  std::vector<std::unique_ptr<Channel>> links;  // segment i -> i+1
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    links.push_back(
+        std::make_unique<Channel>(config.max_inflight, &shared.gauge));
+
+  std::vector<std::unique_ptr<ParallelCtx>> ctxs(n);
+  result.nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.nodes[i].commands = segments[i].display();
+    result.nodes[i].parallel = segments[i].parallel;
+    result.nodes[i].streamed_combine = segments[i].emit_concat;
+    if (segments[i].parallel) {
+      ctxs[i] =
+          std::make_unique<ParallelCtx>(config.max_inflight, &shared.gauge);
+      for (const exec::ExecStage* s : segments[i].chain)
+        ctxs[i]->chain.push_back(s->command.get());
+    }
+  }
+  for (const auto& link : links) shared.channels.push_back(link.get());
+  for (const auto& ctx : ctxs) {
+    if (ctx) {
+      shared.channels.push_back(&ctx->results);
+      shared.semaphores.push_back(&ctx->slots);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < n; ++i) {
+    Pull pull;
+    if (i == 0) {
+      pull = [&reader] { return reader.next(); };
+    } else {
+      Channel* in = links[i - 1].get();
+      pull = [in]() -> std::optional<std::string> {
+        std::optional<Chunk> c = in->pop();
+        if (!c) return std::nullopt;
+        return std::move(c->bytes);
+      };
+    }
+    Push push;
+    std::function<void()> close_out;
+    if (i + 1 == n) {
+      push = [&sink, &shared](std::string&& bytes) {
+        if (sink(bytes)) return true;
+        shared.stop();  // sink asked to stop: clean teardown, still ok
+        return false;
+      };
+      close_out = [] {};
+    } else {
+      Channel* out = links[i].get();
+      auto ordinal = std::make_shared<std::size_t>(0);
+      push = [out, ordinal](std::string&& bytes) {
+        return out->push(Chunk{(*ordinal)++, std::move(bytes)});
+      };
+      close_out = [out] { out->close(); };
+    }
+
+    const Segment& seg = segments[i];
+    NodeMetrics& metrics = result.nodes[i];
+    if (seg.parallel) {
+      ParallelCtx& ctx = *ctxs[i];
+      threads.emplace_back([&ctx, &metrics, pull, &shared, &pool, &config] {
+        try {
+          run_feeder(ctx, metrics, pull, shared, pool, config);
+        } catch (const std::exception& e) {
+          shared.fail(std::string("feeder failed: ") + e.what());
+          ctx.expected.store(
+              static_cast<std::ptrdiff_t>(ctx.tasks_submitted));
+        }
+      });
+      threads.emplace_back(
+          [&seg, &ctx, &metrics, push, close_out, &shared, &config, start] {
+            try {
+              run_collector(seg, ctx, metrics, push, close_out, shared,
+                            config);
+            } catch (const std::exception& e) {
+              shared.fail(std::string("collector failed: ") + e.what());
+              close_out();
+            }
+            metrics.seconds = seconds_since(start);
+          });
+    } else {
+      threads.emplace_back(
+          [&seg, &metrics, pull, push, close_out, &shared, &config, start] {
+            try {
+              run_sequential(seg, metrics, pull, push, close_out, shared,
+                             config);
+            } catch (const std::exception& e) {
+              shared.fail(std::string("stage failed: ") + e.what());
+              close_out();
+            }
+            metrics.seconds = seconds_since(start);
+          });
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+  // Feeder threads are joined, so submission counts are final; wait out any
+  // straggler pool tasks before the contexts go out of scope.
+  for (const auto& ctx : ctxs) {
+    if (ctx) ctx->wait_idle();
+  }
+
+  result.ok = !shared.failed.load();
+  result.stopped_early = shared.stopped.load();
+  result.combine_undefined = shared.combine_undefined.load();
+  if (!result.ok) {
+    std::lock_guard lock(shared.error_mu);
+    result.error = shared.error;
+  } else if (!result.stopped_early && reader.error() != 0) {
+    // The source died mid-stream: everything downstream completed over a
+    // truncated prefix, which must not pass as success.
+    result.ok = false;
+    result.error = "input read error (errno " +
+                   std::to_string(reader.error()) + "): output truncated";
+  }
+  result.peak_inflight_bytes = shared.gauge.peak();
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace
+
+StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
+                           std::istream& input, const Sink& sink,
+                           exec::ThreadPool& pool,
+                           const StreamConfig& config) {
+  BlockReader reader(input, {config.block_size == 0 ? 1 : config.block_size,
+                             config.delimiter});
+  return run_streaming_core(stages, reader, sink, pool, config);
+}
+
+StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
+                           std::istream& input, std::ostream& output,
+                           exec::ThreadPool& pool,
+                           const StreamConfig& config) {
+  Sink sink = [&output](std::string_view bytes) {
+    output.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(output);
+  };
+  return run_streaming(stages, input, sink, pool, config);
+}
+
+StreamResult run_streaming_string(const std::vector<exec::ExecStage>& stages,
+                                  std::string_view input, std::string* output,
+                                  exec::ThreadPool& pool,
+                                  const StreamConfig& config) {
+  std::istringstream in{std::string(input)};
+  std::string collected;
+  Sink sink = [&collected](std::string_view bytes) {
+    collected.append(bytes);
+    return true;
+  };
+  StreamResult result = run_streaming(stages, in, sink, pool, config);
+  if (!result.ok && result.combine_undefined) {
+    // The batch runner's combine-fallback guard: incremental combination
+    // proved undefined on these chunk outputs, so rerun in memory where the
+    // original input is still available. Other failures propagate as !ok.
+    exec::RunConfig batch{config.parallelism, config.use_elimination};
+    exec::RunResult rerun = exec::run_pipeline(stages, input, pool, batch);
+    collected = std::move(rerun.output);
+    result.ok = true;
+    result.batch_fallback = true;
+  }
+  *output = std::move(collected);
+  return result;
+}
+
+}  // namespace kq::stream

@@ -1,0 +1,91 @@
+// The streaming dataflow execution runtime. Lowers the staged plan
+// (compile::lower_plan's ExecStages) into a graph of concurrently running
+// nodes — block reader → worker×k → incremental combiner per parallel
+// segment, pass-through drain nodes for sequential stages — connected by
+// bounded channels, in the spirit of PaSh-style dataflow shell runtimes.
+//
+// Contrasts with exec::run_pipeline (the batch path, kept as `--batch`):
+//   - input is consumed in record-aligned blocks (stream::BlockReader)
+//     rather than slurped whole, so memory stays O(capacity · block_size)
+//     for concat-combined pipelines instead of O(input);
+//   - all pipeline segments run concurrently instead of in stage barriers;
+//   - combining is incremental: each segment's combiner folds chunk
+//     outputs as they arrive in input order (doubling group sizes keep the
+//     total fold work near one k-way combine) instead of waiting for all
+//     chunks. Segments whose combiner is plain concat over
+//     newline-terminated outputs skip accumulation entirely and emit chunk
+//     outputs downstream the moment they are next in order.
+//
+// Output is byte-identical to the batch runner whenever the synthesized
+// combiners satisfy their defining property g(f(x), f(y)) = f(x · y) —
+// both runtimes compute f over the whole stream, they just chunk
+// differently.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/runner.h"
+#include "exec/thread_pool.h"
+
+namespace kq::stream {
+
+struct StreamConfig {
+  int parallelism = 4;
+  std::size_t block_size = 1 << 20;
+  // Max chunks a segment may have in flight (its memory budget is
+  // max_inflight · block_size). 0 derives 2 · parallelism + 2.
+  std::size_t max_inflight = 0;
+  bool use_elimination = true;  // fuse eliminated-combiner chains
+  char delimiter = '\n';
+};
+
+struct NodeMetrics {
+  std::string commands;           // fused chain display, " | " separated
+  bool parallel = false;
+  bool streamed_combine = false;  // concat emission, no accumulation
+  int chunks = 0;                 // blocks processed by this node
+  std::size_t in_bytes = 0;
+  std::size_t out_bytes = 0;
+  double seconds = 0;             // active span (first input to close)
+};
+
+struct StreamResult {
+  bool ok = true;
+  std::string error;               // set when !ok
+  double seconds = 0;
+  std::size_t peak_inflight_bytes = 0;  // high-water mark across channels
+  std::vector<NodeMetrics> nodes;
+  bool stopped_early = false;      // the sink returned false (ok stays true)
+  bool combine_undefined = false;  // !ok because a combiner bailed mid-fold
+  bool batch_fallback = false;     // string overload reran via batch path
+};
+
+// Receives output in order; return false to stop the run early (the graph
+// tears down, the result stays ok with stopped_early set).
+using Sink = std::function<bool(std::string_view)>;
+
+// Core entry point: drain `input` through the dataflow graph into `sink`.
+StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
+                           std::istream& input, const Sink& sink,
+                           exec::ThreadPool& pool, const StreamConfig& config);
+
+// Stream into an ostream (the CLI's stdin → stdout path).
+StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
+                           std::istream& input, std::ostream& output,
+                           exec::ThreadPool& pool, const StreamConfig& config);
+
+// In-memory convenience for tests and benches. If (and only if)
+// incremental combination turns out undefined mid-stream (the batch
+// runner's combine-fallback guard), reruns through exec::run_pipeline and
+// sets `batch_fallback`; other streaming failures propagate as !ok.
+StreamResult run_streaming_string(const std::vector<exec::ExecStage>& stages,
+                                  std::string_view input, std::string* output,
+                                  exec::ThreadPool& pool,
+                                  const StreamConfig& config);
+
+}  // namespace kq::stream

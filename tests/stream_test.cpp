@@ -1,0 +1,545 @@
+// Tests for the streaming dataflow runtime: record-aligned block reading
+// (boundary realignment, CRLF, oversized records, missing trailing
+// newline), bounded channels with backpressure, the dataflow executor's
+// equivalence with the batch runner, and cross-validation of `--stream`
+// against `--batch` on every catalog pipeline.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "bench_support/catalog.h"
+#include "compile/optimize.h"
+#include "compile/plan.h"
+#include "dsl/kway.h"
+#include "exec/runner.h"
+#include "stream/block_reader.h"
+#include "stream/channel.h"
+#include "stream/dataflow.h"
+#include "unixcmd/registry.h"
+#include "unixcmd/sort_cmd.h"
+
+namespace kq::stream {
+namespace {
+
+std::vector<std::string> read_all(BlockReader& reader) {
+  std::vector<std::string> blocks;
+  while (auto b = reader.next()) blocks.push_back(std::move(*b));
+  return blocks;
+}
+
+std::string joined(const std::vector<std::string>& blocks) {
+  std::string out;
+  for (const std::string& b : blocks) out += b;
+  return out;
+}
+
+// --------------------------------------------------------- block reader --
+
+TEST(BlockReader, DelimiterStraddlingBlockBoundary) {
+  // Lines of 7 bytes with block_size 8: every naive 8-byte cut would land
+  // mid-record, so each block must be realigned to the previous newline.
+  std::string input;
+  for (int i = 0; i < 40; ++i) input += "abcdef\n";
+  std::istringstream in(input);
+  BlockReader reader(in, {8, '\n'});
+  auto blocks = read_all(reader);
+  EXPECT_EQ(joined(blocks), input);
+  EXPECT_GT(blocks.size(), 1u);
+  for (const std::string& b : blocks) {
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(b.back(), '\n');
+    EXPECT_EQ(b.size() % 7, 0u) << "block split a record";
+  }
+}
+
+TEST(BlockReader, RecordLongerThanBlock) {
+  std::string long_line(1000, 'x');
+  std::string input = "short\n" + long_line + "\nshort\n";
+  std::istringstream in(input);
+  BlockReader reader(in, {16, '\n'});
+  auto blocks = read_all(reader);
+  EXPECT_EQ(joined(blocks), input);
+  bool saw_long = false;
+  for (const std::string& b : blocks) {
+    EXPECT_EQ(b.back(), '\n');
+    if (b.find(long_line) != std::string::npos) saw_long = true;
+  }
+  EXPECT_TRUE(saw_long) << "oversized record must travel whole";
+}
+
+TEST(BlockReader, CrlfInput) {
+  std::string input = "alpha\r\nbeta\r\ngamma\r\n";
+  std::istringstream in(input);
+  BlockReader reader(in, {7, '\n'});
+  auto blocks = read_all(reader);
+  EXPECT_EQ(joined(blocks), input);
+  for (const std::string& b : blocks) {
+    EXPECT_EQ(b.back(), '\n');  // CR stays inside its record
+  }
+}
+
+TEST(BlockReader, EmptyInput) {
+  std::istringstream in("");
+  BlockReader reader(in, {1024, '\n'});
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_EQ(reader.next(), std::nullopt);  // stays exhausted
+  EXPECT_EQ(reader.bytes_delivered(), 0u);
+}
+
+TEST(BlockReader, NoTrailingNewline) {
+  std::string input = "one\ntwo\nthree";  // final record unterminated
+  std::istringstream in(input);
+  BlockReader reader(in, {4, '\n'});
+  auto blocks = read_all(reader);
+  EXPECT_EQ(joined(blocks), input);
+  EXPECT_EQ(blocks.back().back(), 'e');
+  for (std::size_t i = 0; i + 1 < blocks.size(); ++i)
+    EXPECT_EQ(blocks[i].back(), '\n');
+}
+
+TEST(BlockReader, SingleBlockWhenInputFits) {
+  std::string input = "a\nb\nc\n";
+  std::istringstream in(input);
+  BlockReader reader(in, {1 << 20, '\n'});
+  auto blocks = read_all(reader);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], input);
+  EXPECT_EQ(reader.bytes_delivered(), input.size());
+}
+
+TEST(BlockReader, CustomDelimiter) {
+  std::string input = "a,b,c,d,";
+  std::istringstream in(input);
+  BlockReader reader(in, {3, ','});
+  auto blocks = read_all(reader);
+  EXPECT_EQ(joined(blocks), input);
+  for (const std::string& b : blocks) EXPECT_EQ(b.back(), ',');
+}
+
+TEST(BlockReader, ReadFnSource) {
+  // A source that trickles one byte at a time still yields aligned blocks.
+  std::string input = "aa\nbb\ncc\n";
+  std::size_t pos = 0;
+  BlockReader reader(
+      [&](char* buf, std::size_t n) -> std::size_t {
+        if (pos >= input.size() || n == 0) return 0;
+        buf[0] = input[pos++];
+        return 1;
+      },
+      {4, '\n'});
+  auto blocks = read_all(reader);
+  EXPECT_EQ(joined(blocks), input);
+}
+
+// -------------------------------------------------------------- channel --
+
+TEST(Channel, DeliversInOrder) {
+  Channel ch(4);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_TRUE(ch.push({i, "c" + std::to_string(i)}));
+  ch.close();
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto c = ch.pop();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->index, i);
+  }
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, PushAfterCloseFails) {
+  Channel ch(2);
+  ch.close();
+  EXPECT_FALSE(ch.push({0, "x"}));
+}
+
+TEST(Channel, BackpressureBlocksProducerUntilConsumed) {
+  Channel ch(2);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < 6; ++i) {
+      ch.push({i, "data"});
+      ++pushed;
+    }
+    ch.close();
+  });
+  // Give the producer time to hit the bound.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(pushed.load(), 2);
+  int received = 0;
+  while (ch.pop()) ++received;
+  producer.join();
+  EXPECT_EQ(received, 6);
+  EXPECT_EQ(pushed.load(), 6);
+}
+
+TEST(Channel, AbortWakesAndDiscards) {
+  Channel ch(1);
+  ASSERT_TRUE(ch.push({0, "pending"}));
+  std::thread producer([&] {
+    // Blocks on the full channel until abort, then fails.
+    EXPECT_FALSE(ch.push({1, "late"}));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.abort();
+  producer.join();
+  EXPECT_EQ(ch.pop(), std::nullopt);  // pending chunk was discarded
+}
+
+TEST(Channel, GaugeTracksPeakBytes) {
+  MemoryGauge gauge;
+  Channel ch(8, &gauge);
+  ch.push({0, std::string(100, 'x')});
+  ch.push({1, std::string(50, 'y')});
+  EXPECT_EQ(gauge.current(), 150u);
+  ch.pop();
+  EXPECT_EQ(gauge.current(), 50u);
+  EXPECT_EQ(gauge.peak(), 150u);
+}
+
+TEST(Semaphore, CancelUnblocksWaiter) {
+  Semaphore sem(1);
+  ASSERT_TRUE(sem.acquire());
+  std::thread waiter([&] { EXPECT_FALSE(sem.acquire()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sem.cancel();
+  waiter.join();
+}
+
+// ------------------------------------------------------------- dataflow --
+
+// The exec_test word-count stages: tr A-Z a-z | sort | uniq -c with
+// hand-built combiners, the §2 running example.
+std::vector<exec::ExecStage> word_count_stages() {
+  std::vector<exec::ExecStage> stages;
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("tr A-Z a-z");
+    s.parallel = true;
+    s.eliminate_combiner = true;
+    s.concat_combiner = true;
+    s.combiner_name = "(concat a b)";
+    s.combine = [](const std::vector<std::string>& parts)
+        -> std::optional<std::string> {
+      std::string out;
+      for (const auto& p : parts) out += p;
+      return out;
+    };
+    stages.push_back(std::move(s));
+  }
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("sort");
+    s.parallel = true;
+    s.combiner_name = "(merge a b)";
+    s.combine = [](const std::vector<std::string>& parts)
+        -> std::optional<std::string> {
+      auto spec = cmd::SortSpec::parse({});
+      std::vector<std::string_view> views(parts.begin(), parts.end());
+      return spec->merge_streams(views);
+    };
+    stages.push_back(std::move(s));
+  }
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("uniq -c");
+    s.parallel = true;
+    s.combiner_name = "((stitch2 ' ' add first) a b)";
+    dsl::Combiner saf = dsl::combiner_stitch2_add_first(' ');
+    s.combine = [saf](const std::vector<std::string>& parts) {
+      return dsl::combine_k(saf, parts);
+    };
+    stages.push_back(std::move(s));
+  }
+  return stages;
+}
+
+std::string sample_words(int reps = 50) {
+  std::string input;
+  const char* words[] = {"apple", "Pear", "fig", "apple", "FIG", "plum"};
+  for (int rep = 0; rep < reps; ++rep)
+    for (const char* w : words) input += std::string(w) + "\n";
+  return input;
+}
+
+TEST(Dataflow, MatchesBatchAcrossBlockSizes) {
+  auto stages = word_count_stages();
+  std::string input = sample_words();
+  exec::ThreadPool pool(4);
+  std::string expect = exec::run_serial(stages, input).output;
+  for (std::size_t block : {std::size_t(1), std::size_t(7), std::size_t(64),
+                            std::size_t(1 << 20)}) {
+    StreamConfig config;
+    config.parallelism = 4;
+    config.block_size = block;
+    std::string output;
+    StreamResult r =
+        run_streaming_string(stages, input, &output, pool, config);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.batch_fallback) << "block=" << block;
+    EXPECT_EQ(output, expect) << "block=" << block;
+  }
+}
+
+TEST(Dataflow, FusesEliminatedChainIntoOneNode) {
+  auto stages = word_count_stages();
+  std::string input = sample_words();
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 64;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  // tr fuses into sort's segment (eliminated combiner); uniq -c is its own.
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(r.nodes[0].commands, "tr A-Z a-z | sort");
+  EXPECT_EQ(r.nodes[1].commands, "uniq -c");
+  EXPECT_TRUE(r.nodes[0].parallel);
+  EXPECT_GT(r.nodes[0].chunks, 1);
+}
+
+TEST(Dataflow, UnoptimizedKeepsStagesSeparate) {
+  auto stages = word_count_stages();
+  std::string input = sample_words();
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 64;
+  config.use_elimination = false;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.nodes.size(), 3u);
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+}
+
+TEST(Dataflow, SequentialStageMidPipeline) {
+  auto stages = word_count_stages();
+  stages[1].parallel = false;  // force sort to drain sequentially
+  std::string input = sample_words();
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 32;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  bool saw_sequential = false;
+  for (const auto& node : r.nodes)
+    if (!node.parallel) saw_sequential = true;
+  EXPECT_TRUE(saw_sequential);
+}
+
+TEST(Dataflow, EmptyInputMatchesBatch) {
+  // wc -l on empty input must still produce "0\n": the chain runs once on
+  // the empty stream, mirroring the batch splitter's single empty chunk.
+  std::vector<exec::ExecStage> stages;
+  exec::ExecStage s;
+  s.command = cmd::make_command_line("wc -l");
+  s.parallel = true;
+  s.combiner_name = "(add a b)";
+  dsl::Combiner add = dsl::combiner_add();
+  s.combine = [add](const std::vector<std::string>& parts) {
+    return dsl::combine_k(add, parts);
+  };
+  stages.push_back(std::move(s));
+
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 2;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, "", &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, "").output);
+  EXPECT_EQ(output, "0\n");
+}
+
+TEST(Dataflow, ConcatEmissionKeepsMemoryBounded) {
+  // A pure concat pipeline over a large input: peak bytes in flight must
+  // stay O(max_inflight · block_size), far below the input size.
+  std::vector<exec::ExecStage> stages;
+  exec::ExecStage s;
+  s.command = cmd::make_command_line("tr a-z A-Z");
+  s.parallel = true;
+  s.concat_combiner = true;
+  s.combiner_name = "(concat a b)";
+  s.combine = [](const std::vector<std::string>& parts)
+      -> std::optional<std::string> {
+    std::string out;
+    for (const auto& p : parts) out += p;
+    return out;
+  };
+  stages.push_back(std::move(s));
+
+  std::string input;
+  for (int i = 0; i < 200000; ++i) input += "abcdefghijklmnop\n";  // ~3.4 MB
+
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 4096;
+  config.max_inflight = 8;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_TRUE(r.nodes[0].streamed_combine);
+  // Budget: inflight chunks in the worker stage plus reorder slack; chunks
+  // can reach ~2 blocks via coalescing. 4x headroom still << input size.
+  std::size_t budget = 4 * config.max_inflight * config.block_size;
+  EXPECT_LT(r.peak_inflight_bytes, budget);
+  EXPECT_LT(budget, input.size());
+}
+
+TEST(Dataflow, CombineFailureFallsBackToBatch) {
+  std::vector<exec::ExecStage> stages;
+  exec::ExecStage s;
+  s.command = cmd::make_command_line("tr a-z A-Z");
+  s.parallel = true;
+  s.combiner_name = "(broken)";
+  s.combine = [](const std::vector<std::string>&)
+      -> std::optional<std::string> { return std::nullopt; };
+  stages.push_back(std::move(s));
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 4;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, "ab\ncd\nef\ngh\n", &output,
+                                        pool, config);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.batch_fallback);
+  EXPECT_EQ(output, "AB\nCD\nEF\nGH\n");
+}
+
+TEST(Dataflow, ParallelismOneRunsSequentially) {
+  auto stages = word_count_stages();
+  std::string input = sample_words();
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 1;
+  config.block_size = 64;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  for (const auto& node : r.nodes) EXPECT_FALSE(node.parallel);
+}
+
+TEST(Dataflow, SinkEarlyStopIsCleanNotAnError) {
+  // A head-like sink that refuses data after the first delivery must stop
+  // the run cleanly: ok stays true, stopped_early is set, no batch rerun.
+  std::vector<exec::ExecStage> stages;
+  exec::ExecStage s;
+  s.command = cmd::make_command_line("tr a-z A-Z");
+  s.parallel = true;
+  s.concat_combiner = true;
+  s.combiner_name = "(concat a b)";
+  s.combine = [](const std::vector<std::string>& parts)
+      -> std::optional<std::string> {
+    std::string out;
+    for (const auto& p : parts) out += p;
+    return out;
+  };
+  stages.push_back(std::move(s));
+
+  std::string input;
+  for (int i = 0; i < 5000; ++i) input += "abcdefgh\n";
+  std::istringstream in(input);
+  int deliveries = 0;
+  Sink sink = [&deliveries](std::string_view) { return ++deliveries < 2; };
+
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 256;
+  StreamResult r = run_streaming(stages, in, sink, pool, config);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_FALSE(r.combine_undefined);
+  EXPECT_GE(deliveries, 2);
+}
+
+TEST(Dataflow, IstreamToOstream) {
+  auto stages = word_count_stages();
+  std::string input = sample_words();
+  exec::ThreadPool pool(4);
+  std::istringstream in(input);
+  std::ostringstream out;
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 128;
+  StreamResult r = run_streaming(stages, in, out, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(out.str(), exec::run_serial(stages, input).output);
+}
+
+// ----------------------------------------------- catalog cross-validation --
+
+// `--stream` must be byte-identical to `--batch` for every pipeline in the
+// 70-script catalog, at a block size small enough to force many blocks.
+class StreamCatalogCrossval
+    : public ::testing::TestWithParam<const bench::Script*> {
+ protected:
+  static synth::SynthesisCache& cache() {
+    static synth::SynthesisCache c;
+    return c;
+  }
+  static vfs::Vfs& fs() {
+    static vfs::Vfs v;
+    return v;
+  }
+};
+
+TEST_P(StreamCatalogCrossval, StreamMatchesBatch) {
+  const bench::Script& script = *GetParam();
+  std::string input = bench::prepare_input(script, 24 * 1024, 7, fs());
+  exec::ThreadPool pool(4);
+
+  for (const std::string& pipeline : script.pipelines) {
+    auto parsed = compile::parse_pipeline(pipeline);
+    ASSERT_TRUE(parsed.has_value()) << pipeline;
+    compile::Plan plan =
+        compile::compile_pipeline(*parsed, cache(), {}, &fs());
+    compile::eliminate_intermediate_combiners(plan);
+    auto stages = compile::lower_plan(plan);
+
+    exec::RunConfig batch_config{4, /*use_elimination=*/true};
+    std::string batch =
+        exec::run_pipeline(stages, input, pool, batch_config).output;
+
+    StreamConfig config;
+    config.parallelism = 4;
+    config.block_size = 2048;  // force ~12 blocks per run
+    std::string streamed;
+    StreamResult r =
+        run_streaming_string(stages, input, &streamed, pool, config);
+    EXPECT_TRUE(r.ok) << pipeline << ": " << r.error;
+    EXPECT_FALSE(r.batch_fallback)
+        << pipeline << ": incremental combine bailed: " << r.error;
+    EXPECT_EQ(streamed, batch)
+        << script.suite << "/" << script.name << ": " << pipeline;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScripts, StreamCatalogCrossval,
+    ::testing::ValuesIn([] {
+      std::vector<const bench::Script*> ptrs;
+      for (const bench::Script& s : bench::all_scripts()) ptrs.push_back(&s);
+      return ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const bench::Script*>& info) {
+      std::string name = info.param->suite + "_" + info.param->name;
+      std::string out;
+      for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      return out;
+    });
+
+}  // namespace
+}  // namespace kq::stream
