@@ -2,17 +2,32 @@
 // generated input much larger than the streaming runtime's block budget.
 //
 //   ./build/bench/stream_throughput [--mb=N] [--block-kb=N] [--k=N]
+//                                   [--spill-mb=N] [--no-speed-check]
 //
-// Defaults: 256 MiB input, 1 MiB blocks, k=4 — the input is ~10x the
-// streaming block budget (max_inflight · block_size per segment), so a
-// bounded-memory runtime shows a peak RSS far below the input size while
-// the batch runner's RSS scales with it. CI runs the fast smoke
-// configuration (--mb=8) to keep throughput regressions visible per-PR.
+// Defaults: 256 MiB input, 1 MiB blocks, k=4, spill threshold
+// max(8 MiB, input/8) — the input is ~10x the streaming block budget
+// (max_inflight · block_size per segment), so a bounded-memory runtime
+// shows a peak RSS far below the input size while the batch runner's RSS
+// scales with it. CI runs the fast smoke configuration (--mb=16) to keep
+// throughput regressions visible per-PR; --no-speed-check drops the
+// stream-vs-batch timing verdict for sanitizer builds, where timing is
+// meaningless but the memory/output checks still matter.
 //
-// The input file is written incrementally (never materialized in memory)
-// and streaming runs BEFORE batch: VmHWM is monotonic per process, so the
-// streaming high-water mark is untainted by the batch slurp.
+// RSS measurement: VmHWM is monotonic per process, so a naive read would
+// hand whichever run goes second the first run's peak — and an in-process
+// reset (/proc/self/clear_refs) cannot shed pages an earlier run left
+// resident in the allocator arenas, skewing later growth readings in both
+// directions. Each measurement therefore forks a child: the kernel resets
+// the child's VmHWM to its current RSS at fork (dup_mm), the run executes
+// with its own thread pool in that clean address space, and the POD
+// Measurement ships back over a pipe. The input file is written
+// incrementally so generation never inflates the pre-fork footprint.
 
+#include <malloc.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -90,18 +105,82 @@ Compiled compile_one(const std::string& pipeline, synth::SynthesisCache& cache) 
   return out;
 }
 
-struct Measurement {
+struct Measurement {  // POD: shipped over a pipe from the forked child
+  bool ok = true;                 // run completed; false fails the bench
   double seconds = 0;
-  std::size_t peak_rss = 0;       // process VmHWM after the run
+  std::size_t rss_growth = 0;     // VmHWM delta over the post-fork baseline
   std::size_t out_bytes = 0;
   std::size_t peak_inflight = 0;  // streaming only
+  std::size_t spilled = 0;        // streaming only
 };
 
+// Set when any measurement ran in-process because fork was unavailable:
+// such runs share the parent's monotonic VmHWM, so their growth readings
+// can under-report and the memory verdict must not be trusted.
+bool fork_fallback_used = false;
+
+// Runs `body` in a forked child for an isolated VmHWM (see the header
+// comment) and returns its Measurement via a pipe. The child builds its own
+// thread pool — the parent stays single-threaded, keeping fork safe — and
+// _exit()s without running destructors. Falls back to an in-process run if
+// fork is unavailable.
+template <typename Body>
+Measurement run_isolated(Body&& body) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    fork_fallback_used = true;
+    return body();
+  }
+  std::cout.flush();
+  std::cerr.flush();
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    fork_fallback_used = true;
+    return body();
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    Measurement m = body();
+    ssize_t wrote = ::write(fds[1], &m, sizeof(m));
+    ::_exit(wrote == static_cast<ssize_t>(sizeof(m)) ? 0 : 1);
+  }
+  ::close(fds[1]);
+  Measurement m{};
+  std::size_t got = 0;
+  while (got < sizeof(m)) {
+    ssize_t n = ::read(fds[0], reinterpret_cast<char*>(&m) + got,
+                       sizeof(m) - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (got != sizeof(m) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    // A crashed or failed child must fail the bench, not score 0 seconds.
+    std::cerr << "ERROR: measurement child "
+              << (got != sizeof(m) ? "died before reporting" : "failed")
+              << "\n";
+    m.ok = false;
+  }
+  return m;
+}
+
 Measurement run_streaming_file(const Compiled& compiled,
-                               const std::string& path,
-                               exec::ThreadPool& pool,
+                               const std::string& path, int k,
                                const stream::StreamConfig& config) {
   Measurement m;
+#ifdef __GLIBC__
+  // Pin the mmap threshold (the CLI streaming path does the same): glibc's
+  // dynamic threshold otherwise promotes the per-chunk block strings into
+  // ever-growing arenas, and freed-but-resident arena pages would read as
+  // ~150 MiB of RSS growth that is allocator policy, not runtime state.
+  mallopt(M_MMAP_THRESHOLD, 128 << 10);
+#endif
+  std::size_t baseline = peak_rss_bytes();  // == current RSS post-fork
+  exec::ThreadPool pool(k);
   std::ifstream in(path, std::ios::binary);
   std::size_t out_bytes = 0;
   stream::Sink sink = [&out_bytes](std::string_view bytes) {
@@ -111,16 +190,21 @@ Measurement run_streaming_file(const Compiled& compiled,
   stream::StreamResult r =
       stream::run_streaming(compiled.stages, in, sink, pool, config);
   if (!r.ok) std::cerr << "streaming failed: " << r.error << "\n";
+  m.ok = r.ok;
+  std::size_t peak = peak_rss_bytes();
+  m.rss_growth = peak > baseline ? peak - baseline : 0;
   m.seconds = r.seconds;
   m.out_bytes = out_bytes;
   m.peak_inflight = r.peak_inflight_bytes;
-  m.peak_rss = peak_rss_bytes();
+  m.spilled = r.spilled_bytes;
   return m;
 }
 
 Measurement run_batch_file(const Compiled& compiled, const std::string& path,
-                           exec::ThreadPool& pool, int k) {
+                           int k) {
   Measurement m;
+  std::size_t baseline = peak_rss_bytes();
+  exec::ThreadPool pool(k);
   auto start = std::chrono::steady_clock::now();
   std::ifstream in(path, std::ios::binary);
   std::string input((std::istreambuf_iterator<char>(in)),
@@ -130,8 +214,9 @@ Measurement run_batch_file(const Compiled& compiled, const std::string& path,
   m.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             start)
                   .count();
+  std::size_t peak = peak_rss_bytes();
+  m.rss_growth = peak > baseline ? peak - baseline : 0;
   m.out_bytes = r.output.size();
-  m.peak_rss = peak_rss_bytes();
   return m;
 }
 
@@ -140,98 +225,129 @@ double mib_per_s(std::size_t bytes, double seconds) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
 }
 
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t input_mb = arg_value(argc, argv, "--mb", 256);
   std::size_t block_kb = arg_value(argc, argv, "--block-kb", 1024);
   int k = static_cast<int>(arg_value(argc, argv, "--k", 4));
+  std::size_t spill_mb =
+      arg_value(argc, argv, "--spill-mb", std::max<std::size_t>(8, input_mb / 8));
+  const bool speed_check = !has_flag(argc, argv, "--no-speed-check");
   std::size_t input_bytes = input_mb << 20;
 
   stream::StreamConfig config;
   config.parallelism = k;
   config.block_size = block_kb << 10;
+  config.spill_threshold = spill_mb << 20;
   std::size_t budget =
       (2 * static_cast<std::size_t>(k) + 2) * config.block_size;
 
   std::string path = "/tmp/kumquat_stream_bench_" +
                      std::to_string(::getpid()) + ".txt";
   std::cout << "generating " << input_mb << " MiB input at " << path
-            << " (block " << block_kb << " KiB, k=" << k
-            << ", per-segment block budget " << (budget >> 20) << " MiB, "
-            << "input/budget = "
+            << " (block " << block_kb << " KiB, k=" << k << ", spill "
+            << spill_mb << " MiB, per-segment block budget " << (budget >> 20)
+            << " MiB, input/budget = "
             << static_cast<double>(input_bytes) /
                    static_cast<double>(budget)
             << "x)\n";
   generate_input(path, input_bytes);
 
-  // One concat-combined pipeline (fully streamable, the bounded-memory
-  // showcase) and one folding pipeline (count accumulation).
-  const char* kPipelines[] = {
-      "tr A-Z a-z | grep a | cut -c 1-32",
-      "tr A-Z a-z | grep apple | wc -l",
+  // A concat-combined pipeline (fully streamable), a folding pipeline
+  // (count accumulation), and a merge-combined sort pipeline — the
+  // spill-to-disk witness: its chunk outputs exceed the threshold and must
+  // external-merge from disk instead of accumulating. Gates are explicit
+  // per pipeline: disk-bound runs trade wall-clock for bounded memory, so
+  // the sort pipeline skips the speed gate; the fold pipeline's tiny
+  // output makes its RSS uninteresting either way.
+  struct BenchPipeline {
+    const char* cmd;
+    bool gate_speed;
+    bool gate_memory;
+  };
+  const BenchPipeline kPipelines[] = {
+      {"tr A-Z a-z | grep a | cut -c 1-32", true, true},
+      {"tr A-Z a-z | grep apple | wc -l", true, false},
+      {"tr A-Z a-z | sort", false, true},
   };
 
   synth::SynthesisCache cache;
-  exec::ThreadPool pool(k);
+  bool all_ok = true;
   bool all_faster = true;
   bool bounded = true;
-  // The memory verdict compares RSS growth against the input size, so it is
-  // only meaningful once the input dwarfs fixed overheads (thread stacks,
-  // synthesis scratch) — the full-size run, not the CI smoke configuration.
+  // The memory verdict compares per-run RSS growth against the input size,
+  // so it is only meaningful once the input dwarfs fixed overheads (thread
+  // stacks, allocator slack) — the full-size run, not the CI smoke
+  // configuration.
   const bool enforce_bounded =
       input_bytes >= 10 * budget && input_mb >= 64;
 
-  // Synthesize every combiner up front so the RSS baseline below excludes
-  // synthesis scratch allocations (VmHWM is monotonic).
   std::vector<Compiled> compiled_pipelines;
-  for (const char* pipeline : kPipelines)
-    compiled_pipelines.push_back(compile_one(pipeline, cache));
-  std::size_t baseline_rss = peak_rss_bytes();
+  for (const BenchPipeline& pipeline : kPipelines)
+    compiled_pipelines.push_back(compile_one(pipeline.cmd, cache));
 
   for (std::size_t p = 0; p < compiled_pipelines.size(); ++p) {
-    const char* pipeline = kPipelines[p];
+    const BenchPipeline& pipeline = kPipelines[p];
     const Compiled& compiled = compiled_pipelines[p];
-    std::cout << "\npipeline: " << pipeline << "  ("
+    std::cout << "\npipeline: " << pipeline.cmd << "  ("
               << compiled.plan.parallelized() << "/" << compiled.plan.total()
               << " parallel, " << compiled.plan.eliminated()
               << " eliminated)\n";
-
-    // Streaming first: VmHWM is monotonic, so this measurement must not be
-    // polluted by the batch slurp.
-    Measurement s = run_streaming_file(compiled, path, pool, config);
+    Measurement s = run_isolated(
+        [&] { return run_streaming_file(compiled, path, k, config); });
     std::cout << "  stream: " << s.seconds << " s, "
-              << mib_per_s(input_bytes, s.seconds) << " MiB/s, peak RSS "
-              << (s.peak_rss >> 20) << " MiB, peak in-flight "
-              << (s.peak_inflight >> 10) << " KiB\n";
+              << mib_per_s(input_bytes, s.seconds) << " MiB/s, RSS growth "
+              << (s.rss_growth >> 20) << " MiB, peak in-flight "
+              << (s.peak_inflight >> 10) << " KiB, spilled "
+              << (s.spilled >> 20) << " MiB\n";
 
-    Measurement b = run_batch_file(compiled, path, pool, k);
+    Measurement b =
+        run_isolated([&] { return run_batch_file(compiled, path, k); });
     std::cout << "  batch:  " << b.seconds << " s, "
-              << mib_per_s(input_bytes, b.seconds) << " MiB/s, peak RSS "
-              << (b.peak_rss >> 20) << " MiB\n";
+              << mib_per_s(input_bytes, b.seconds) << " MiB/s, RSS growth "
+              << (b.rss_growth >> 20) << " MiB\n";
 
-    if (s.out_bytes != b.out_bytes)
-      std::cout << "  WARNING: output size mismatch (stream " << s.out_bytes
+    if (!s.ok || !b.ok) all_ok = false;
+    if (s.out_bytes != b.out_bytes) {
+      std::cout << "  ERROR: output size mismatch (stream " << s.out_bytes
                 << " vs batch " << b.out_bytes << ")\n";
+      all_ok = false;
+    }
     std::cout << "  speedup stream/batch: " << b.seconds / s.seconds
               << "x\n";
-    if (s.seconds > b.seconds * 1.05) all_faster = false;
+    if (speed_check && pipeline.gate_speed && s.seconds > b.seconds * 1.05)
+      all_faster = false;
 
-    // The first (concat) pipeline is the bounded-memory witness: its
-    // streaming peak RSS must stay far below the input size.
-    if (enforce_bounded && p == 0 &&
-        s.peak_rss > baseline_rss + input_bytes / 2)
+    // Bounded-memory witnesses must keep streaming RSS growth well under
+    // the input size — pure streaming and spill-backed external merge alike.
+    if (enforce_bounded && pipeline.gate_memory &&
+        s.rss_growth > input_bytes / 2)
       bounded = false;
   }
 
   std::cout << "\nverdict: streaming "
-            << (all_faster ? "matches or beats" : "SLOWER than")
-            << " batch at k=" << k << "; memory "
-            << (!enforce_bounded
-                    ? "verdict skipped (input too small to dominate fixed "
-                      "overheads; run with --mb=256)"
-                    : (bounded ? "bounded" : "NOT bounded"))
+            << (!speed_check
+                    ? "speed check skipped"
+                    : (all_faster ? "matches or beats batch"
+                                  : "SLOWER than batch"))
+            << " at k=" << k << "; memory "
+            << (fork_fallback_used
+                    ? "verdict skipped (fork unavailable: in-process VmHWM "
+                      "is monotonic, growth readings unreliable)"
+                    : (!enforce_bounded
+                           ? "verdict skipped (input too small to dominate "
+                             "fixed overheads; run with --mb=256)"
+                           : (bounded ? "bounded" : "NOT bounded")))
             << "\n";
   std::remove(path.c_str());
-  return (all_faster && bounded) ? 0 : 1;
+  if (fork_fallback_used) bounded = true;  // readings unreliable: no gate
+  if (!all_ok) std::cout << "verdict: FAILED (run or output error above)\n";
+  return (all_ok && all_faster && bounded) ? 0 : 1;
 }

@@ -16,6 +16,8 @@
 // through fork/exec — new commands work without any registry change,
 // which is the point of the paper.
 
+#include <malloc.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -123,7 +125,8 @@ int cmd_compile(const std::string& pipeline) {
 }
 
 int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
-            std::size_t block_size) {
+            std::size_t block_size, std::size_t spill_threshold,
+            char delimiter) {
   auto compiled = compile_line(pipeline);
   if (!compiled) return 2;
   exec::ThreadPool pool(k);
@@ -131,11 +134,22 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
   if (streaming) {
     // Streaming dataflow path: stdin is pulled through a BlockReader in
     // record-aligned blocks, never materialized whole.
+#ifdef __GLIBC__
+    // Keep block-sized chunk strings mmap-backed: glibc's dynamic mmap
+    // threshold would otherwise grow past the block size and retire freed
+    // chunks into resident arena pages, inflating RSS by O(100 MiB) on
+    // long runs — allocator slack, but indistinguishable from a leak to
+    // anyone watching the bounded-memory runtime. Costs a few percent of
+    // throughput; chunk pooling would recover it (see ROADMAP).
+    mallopt(M_MMAP_THRESHOLD, 128 << 10);
+#endif
     std::ios::sync_with_stdio(false);
     stream::StreamConfig config;
     config.parallelism = k;
     config.block_size = block_size;
     config.use_elimination = optimize;
+    config.spill_threshold = spill_threshold;
+    config.delimiter = delimiter;
     stream::StreamResult result = stream::run_streaming(
         compiled->stages, std::cin, std::cout, pool, config);
     std::cout.flush();
@@ -146,7 +160,10 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
     }
     std::cerr << "kumquat: " << result.seconds << " s at k=" << k
               << ", streaming, peak " << result.peak_inflight_bytes
-              << " bytes in flight\n";
+              << " bytes in flight";
+    if (result.spilled_bytes != 0)
+      std::cerr << ", spilled " << result.spilled_bytes << " bytes to disk";
+    std::cerr << "\n";
     return 0;
   }
 
@@ -159,6 +176,30 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
   std::cerr << "kumquat: " << result.seconds << " s at k=" << k
             << ", batch\n";
   return 0;
+}
+
+// Parses a one-byte record delimiter: a single character, or one of the
+// escapes \t \n \0 \\. Multi-byte delimiters are rejected with a message
+// (the block reader realigns on exactly one byte).
+bool parse_delimiter(const char* text, char* out, std::string* error) {
+  std::size_t len = std::strlen(text);
+  if (len == 1) {
+    *out = text[0];
+    return true;
+  }
+  if (len == 2 && text[0] == '\\') {
+    switch (text[1]) {
+      case 't': *out = '\t'; return true;
+      case 'n': *out = '\n'; return true;
+      case '0': *out = '\0'; return true;
+      case '\\': *out = '\\'; return true;
+    }
+  }
+  *error = len == 0 ? "--delimiter requires a byte argument"
+                    : "--delimiter takes a single byte (got \"" +
+                          std::string(text) +
+                          "\"); multi-byte delimiters are not supported";
+  return false;
 }
 
 // Parses "1048576", "64K", "4M", "1G" (case-insensitive suffixes).
@@ -182,12 +223,18 @@ void usage() {
                "  kumquat synthesize '<command>'\n"
                "  kumquat compile '<pipeline>'\n"
                "  kumquat run [-k N] [--no-opt] [--stream|--batch]\n"
-               "              [--block-size N[K|M|G]] '<pipeline>'  (stdin -> "
+               "              [--block-size N[K|M|G]] "
+               "[--spill-threshold N[K|M|G]|0]\n"
+               "              [--delimiter C] '<pipeline>'  (stdin -> "
                "stdout)\n"
                "\n"
                "  run executes the streaming dataflow runtime by default\n"
-               "  (bounded memory, default 1M blocks); --batch selects the\n"
-               "  in-memory staged runner.\n";
+               "  (bounded memory, default 1M blocks). Nodes that would\n"
+               "  accumulate more than --spill-threshold (default 64M) spill\n"
+               "  to disk; 0 disables spilling. --delimiter sets the record\n"
+               "  byte the streaming reader realigns on (default \\n; accepts\n"
+               "  \\t \\n \\0 escapes). --batch selects the in-memory staged\n"
+               "  runner, which ignores the streaming-only flags.\n";
 }
 
 }  // namespace
@@ -205,6 +252,8 @@ int main(int argc, char** argv) {
     bool optimize = true;
     bool streaming = true;
     std::size_t block_size = 1 << 20;
+    std::size_t spill_threshold = 64 << 20;
+    char delimiter = '\n';
     std::string pipeline;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
@@ -217,6 +266,24 @@ int main(int argc, char** argv) {
         streaming = false;
       } else if (std::strcmp(argv[i], "--block-size") == 0 && i + 1 < argc) {
         block_size = parse_block_size(argv[++i]);
+      } else if (std::strcmp(argv[i], "--spill-threshold") == 0 &&
+                 i + 1 < argc) {
+        ++i;
+        if (std::strcmp(argv[i], "0") == 0) {
+          spill_threshold = 0;  // spilling (and the record cap) off
+        } else {
+          spill_threshold = parse_block_size(argv[i]);
+          if (spill_threshold == 0) {
+            usage();
+            return 2;
+          }
+        }
+      } else if (std::strcmp(argv[i], "--delimiter") == 0 && i + 1 < argc) {
+        std::string error;
+        if (!parse_delimiter(argv[++i], &delimiter, &error)) {
+          std::cerr << "kumquat: " << error << "\n";
+          return 2;
+        }
       } else {
         pipeline = argv[i];
       }
@@ -225,7 +292,8 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    return cmd_run(pipeline, k, optimize, streaming, block_size);
+    return cmd_run(pipeline, k, optimize, streaming, block_size,
+                   spill_threshold, delimiter);
   }
   usage();
   return 2;

@@ -2,6 +2,7 @@
 
 #include "dsl/ast.h"
 #include "unixcmd/registry.h"
+#include "unixcmd/sort_cmd.h"
 
 namespace kq::compile {
 
@@ -86,6 +87,29 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
             dsl::EvalContext ctx{command.get()};
             return combiner.apply_k(parts, ctx);
           };
+    }
+    // Memory class: how the streaming runtime may bound this stage. A
+    // parallel merge-combined stage spills its sorted chunk outputs as runs
+    // (comparator = the combiner's merge spec); a sequential built-in sort
+    // externalizes with its own spec; parallel concat/fold stages are
+    // bounded already; everything else must materialize.
+    const dsl::Combiner* primary =
+        p.synthesis && p.synthesis->success ? p.synthesis->combiner.primary()
+                                            : nullptr;
+    stage.rerun_combiner = primary && primary->node->op == dsl::Op::kRerun;
+    if (stage.parallel && primary && primary->node->op == dsl::Op::kMerge &&
+        primary->merge_spec) {
+      stage.memory_class = exec::MemoryClass::kSortableSpill;
+      stage.sort_spec = primary->merge_spec;
+    } else if (stage.parallel &&
+               (stage.concat_combiner || !stage.defer_combine) &&
+               stage.combine) {
+      stage.memory_class = exec::MemoryClass::kStreaming;
+    } else if (!stage.parallel && p.command) {
+      if (auto spec = cmd::sort_spec_of(*p.command)) {
+        stage.memory_class = exec::MemoryClass::kSortableSpill;
+        stage.sort_spec = std::move(spec);
+      }
     }
     stages.push_back(std::move(stage));
   }

@@ -14,12 +14,33 @@
 #include "exec/thread_pool.h"
 #include "unixcmd/command.h"
 
+namespace kq::cmd {
+class SortSpec;  // fwd: comparator carried for external-merge spilling
+}
+
 namespace kq::exec {
 
 // A k-way combiner as seen by the runtime (bound by the compiler from the
 // synthesized CompositeCombiner; the runtime itself is combiner-agnostic).
 using KWayCombine =
     std::function<std::optional<std::string>(const std::vector<std::string>&)>;
+
+// How much of its input a stage must hold at once — drives the streaming
+// runtime's node choice (src/stream/dataflow.cpp) and when it may spill.
+enum class MemoryClass {
+  // Bounded by construction: chunk outputs stream through (concat
+  // emission) or fold into an accumulator of output size.
+  kStreaming,
+  // Order-insensitive under a sort comparator: bounded runs can spill to
+  // disk sorted and re-stream through an external k-way merge
+  // (stream/spill.*) — a sequential `sort` stage, or a parallel stage
+  // whose combiner is a k-way merge.
+  kSortableSpill,
+  // Must see the whole input (or all partial outputs) at once: unknown
+  // commands, rerun combiners. Accumulation can still spool through disk,
+  // but the single whole-stream execution materializes once.
+  kMaterialize,
+};
 
 struct ExecStage {
   cmd::CommandPtr command;
@@ -35,6 +56,16 @@ struct ExecStage {
   // buys nothing (the partial outputs must be held whole anyway), so the
   // streaming runtime defers to one k-way combine at end of stream.
   bool defer_combine = false;
+  // The primary combiner is a rerun (§3.4): k-way combining concatenates
+  // the partial outputs and reruns the command once, so deferred parts can
+  // spool through disk instead of accumulating in memory.
+  bool rerun_combiner = false;
+  // Set by compile::lower_plan. For kSortableSpill, `sort_spec` carries the
+  // comparator: the synthesized merge combiner's spec when the stage is
+  // parallel (it orders the chunk outputs being combined), the sort
+  // command's own spec when sequential (it defines the stage itself).
+  MemoryClass memory_class = MemoryClass::kMaterialize;
+  std::shared_ptr<const cmd::SortSpec> sort_spec;
   std::string combiner_name;       // for reports
 };
 

@@ -73,10 +73,20 @@ std::optional<std::string> BlockReader::next() {
       cut = last + 1;  // the delimiter stays with its record
     } else {
       // A single record longer than the block: extend until its terminating
-      // delimiter (or end of input) so the record is never split.
+      // delimiter (or end of input) so the record is never split. A
+      // max_record_size cap bounds this growth: one delimiter-free record
+      // would otherwise accumulate the rest of the input in pending_.
       std::size_t from = options_.block_size;
       std::size_t end = pending_.find(options_.delimiter, from);
       while (end == std::string::npos && !eof_) {
+        if (options_.max_record_size != 0 &&
+            pending_.size() > options_.max_record_size) {
+          *error_ = EMSGSIZE;  // record too large to buffer; see header
+          eof_ = true;
+          pending_.clear();
+          pending_.shrink_to_fit();
+          return std::nullopt;
+        }
         from = pending_.size();
         fill();
         end = pending_.find(options_.delimiter, from);

@@ -28,6 +28,15 @@ namespace kq::stream {
 struct BlockReaderOptions {
   std::size_t block_size = 1 << 20;  // target block size in bytes
   char delimiter = '\n';             // record terminator to realign on
+  // Cap on a single record's size while scanning for its delimiter past
+  // the block size: a record that outgrows one block would otherwise
+  // accumulate the rest of a delimiter-free input in pending_. When the
+  // scan exceeds the cap the stream ends with error() == EMSGSIZE instead
+  // of silently ballooning RSS. Records that fit in a block are already
+  // bounded by block_size and are never checked, so the effective bound on
+  // buffered bytes is max(block_size, max_record_size). 0 = unlimited.
+  // The streaming runtime wires this to its spill threshold.
+  std::size_t max_record_size = 0;
 };
 
 class BlockReader {

@@ -1,5 +1,6 @@
 #include "stream/dataflow.h"
 
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <istream>
@@ -12,6 +13,9 @@
 
 #include "stream/block_reader.h"
 #include "stream/channel.h"
+#include "stream/spill.h"
+#include "text/streams.h"
+#include "unixcmd/sort_cmd.h"
 
 namespace kq::stream {
 namespace {
@@ -223,6 +227,39 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
   std::vector<std::string> group;
   std::size_t group_bytes = 0;
 
+  // Merge-mode combiners (defer + sortable) stop deferring once the held
+  // parts exceed the spill threshold: each part is a sorted run, so batches
+  // spill to disk and one streaming k-way merge feeds the sink directly —
+  // O(threshold) resident instead of O(sum of chunk outputs). Engaged
+  // lazily so sub-threshold runs keep the exact apply_k path (including
+  // composite-combiner fallback, which the spill path gives up: a part
+  // failing the merge legality check below fails the run as
+  // combine-undefined instead of trying a sibling combiner).
+  // (Requires '\n' records: the merged result is newline-joined lines, so
+  // under any other delimiter the re-blocked pushes could split records.)
+  const exec::ExecStage& cstage = *seg.combine_stage;
+  const bool spillable_merge =
+      cstage.defer_combine && cstage.sort_spec != nullptr &&
+      cstage.memory_class == exec::MemoryClass::kSortableSpill &&
+      config.spill_threshold != 0 && config.delimiter == '\n';
+  std::unique_ptr<SpillMerger> merger;
+
+  // Rerun combiners concatenate all partial outputs and rerun the command
+  // once (dsl::combine_k's kRerun), so past the threshold the held parts
+  // spool to disk and the concatenation materializes only for that one
+  // rerun — the same O(threshold)-while-draining bound as the sequential
+  // materialize node.
+  const bool spoolable_rerun =
+      cstage.defer_combine && cstage.rerun_combiner && cstage.command &&
+      config.spill_threshold != 0;
+  std::unique_ptr<RawSpool> spool;
+
+  // The merge combiner's legality predicate, as in dsl::combine_k's kMerge.
+  auto mergeable_part = [&](std::string_view part) {
+    return part.empty() || (text::is_stream(part) &&
+                            cstage.sort_spec->is_sorted_stream(part));
+  };
+
   auto flush_group = [&]() -> bool {
     if (group.empty()) return true;
     std::vector<std::string> parts;
@@ -238,19 +275,65 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
     return true;
   };
 
+  auto spill_part = [&](std::string&& part) -> bool {
+    if (!mergeable_part(part)) return false;  // combine undefined
+    if (!merger->add(std::move(part))) {
+      shared.fail("spill failed for stage '" +
+                  cstage.command->display_name() + "': " + merger->error());
+      return false;
+    }
+    return true;
+  };
+
+  auto spool_part = [&](std::string_view part) -> bool {
+    if (!spool->add(part)) {
+      shared.fail("spill failed for stage '" +
+                  cstage.command->display_name() + "': " + spool->error());
+      return false;
+    }
+    return true;
+  };
+
   auto take_part = [&](std::string&& part) -> bool {
     if (seg.emit_concat) {
       metrics.out_bytes += part.size();
       if (part.empty()) return true;
       return push(std::move(part));
     }
+    if (merger) return spill_part(std::move(part));
+    if (spool) return spool_part(part);
     group_bytes += part.size();
     group.push_back(std::move(part));
-    // Merge/rerun combiners hold their partial outputs whole regardless, so
-    // a single k-way combine at end of stream beats incremental folding;
-    // everything else folds with doubling group sizes.
-    if (!seg.combine_stage->defer_combine &&
-        group_bytes >= std::max(config.block_size, acc.size()))
+    if (cstage.defer_combine) {
+      // Merge/rerun combiners hold their partial outputs whole, so a single
+      // k-way combine at end of stream beats incremental folding — until
+      // the group outgrows the spill threshold and migrates to disk:
+      // sorted runs for merge combiners, a raw spool for rerun combiners.
+      // (Single parts stay on the apply_k path, which passes them through
+      // unchecked; spilling engages only once there are parts to combine.)
+      if (group_bytes >= config.spill_threshold && group.size() > 1) {
+        if (spillable_merge) {
+          merger = std::make_unique<SpillMerger>(
+              cstage.sort_spec, SpillMerger::Input::kSortedParts,
+              config.spill_threshold, &shared.gauge);
+          for (std::string& held : group) {
+            if (!spill_part(std::move(held))) return false;
+          }
+          group.clear();
+          group_bytes = 0;
+        } else if (spoolable_rerun) {
+          spool = std::make_unique<RawSpool>(config.spill_threshold,
+                                             &shared.gauge);
+          for (const std::string& held : group) {
+            if (!spool_part(held)) return false;
+          }
+          group.clear();
+          group_bytes = 0;
+        }
+      }
+      return true;
+    }
+    if (group_bytes >= std::max(config.block_size, acc.size()))
       return flush_group();
     return true;
   };
@@ -288,38 +371,136 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
   }
 
   if (!failed_here && !shared.halted()) {
-    bool ok = flush_group();
-    if (ok && !seg.emit_concat && have_acc) {
-      metrics.out_bytes += acc.size();
-      ok = emit_blocks(acc, push, config);
+    if (merger) {
+      bool ok = merger->finish(
+          [&](std::string&& block) {
+            metrics.out_bytes += block.size();
+            return push(std::move(block));
+          },
+          config.block_size);
+      if (!ok && !shared.halted())
+        shared.fail("spill merge failed for stage '" +
+                    cstage.command->display_name() +
+                    "': " + merger->error());
+    } else if (spool) {
+      // The k-way rerun: run the command once over the concatenation of
+      // every spooled part (mirroring dsl::combine_k's kRerun).
+      std::string joined;
+      if (!spool->take(&joined)) {
+        shared.fail("spill failed for stage '" +
+                    cstage.command->display_name() + "': " + spool->error());
+      } else {
+        cmd::Result rerun = cstage.command->execute(joined);
+        joined.clear();
+        joined.shrink_to_fit();
+        if (!rerun.ok()) {
+          shared.combine_undefined.store(true);
+          shared.fail("incremental combine undefined for stage '" +
+                      cstage.command->display_name() + "'");
+        } else {
+          metrics.out_bytes += rerun.out.size();
+          emit_blocks(rerun.out, push, config);
+        }
+      }
+    } else {
+      bool ok = flush_group();
+      if (ok && !seg.emit_concat && have_acc) {
+        metrics.out_bytes += acc.size();
+        ok = emit_blocks(acc, push, config);
+      }
+      if (!ok && !shared.halted()) {
+        shared.combine_undefined.store(true);
+        shared.fail("incremental combine undefined for stage '" +
+                    seg.combine_stage->command->display_name() + "'");
+      }
     }
-    if (!ok && !shared.halted()) {
-      shared.combine_undefined.store(true);
-      shared.fail("incremental combine undefined for stage '" +
-                  seg.combine_stage->command->display_name() + "'");
-    }
+  }
+  if (merger) {
+    metrics.spilled_bytes = merger->spilled_bytes();
+    metrics.spill_runs = merger->runs_spilled();
+  } else if (spool) {
+    metrics.spilled_bytes = spool->spilled_bytes();
   }
   close_out();
 }
 
-// Sequential pass-through node: drains its input in order, runs the stage
-// once on the whole stream, and re-blocks the output for downstream nodes.
+// Sequential node. Built-in sort stages run as an external merge sort:
+// bounded runs spill to disk sorted under the command's own comparator and
+// stream back merged, byte-identical to running the command whole (the
+// spec *is* the command) at O(threshold) resident. Everything else drains
+// through a raw spool (disk past the spill threshold), runs the stage once
+// on the whole stream — the floor for a black-box command — and re-blocks
+// the output for downstream nodes.
 void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
                     const Push& push, const std::function<void()>& close_out,
                     Shared& shared, const StreamConfig& config) {
-  std::string all;
+  const exec::ExecStage& stage = *seg.chain.front();
+  // External sorting needs the command's *own* spec and '\n' records (sort
+  // is line-based). A plan-sequential sortable stage carries its own spec
+  // in sort_spec (lower_plan); a plan-parallel stage forced sequential by
+  // runtime parallelism carries its *merge* spec there, which orders f's
+  // outputs, not raw input — re-derive the command's own spec for it (null
+  // for non-sort commands, which then materialize below).
+  std::shared_ptr<const cmd::SortSpec> spec;
+  if (stage.memory_class == exec::MemoryClass::kSortableSpill &&
+      config.delimiter == '\n' && stage.command)
+    spec = stage.parallel ? cmd::sort_spec_of(*stage.command)
+                          : stage.sort_spec;
+
+  if (spec) {
+    SpillMerger sorter(std::move(spec), SpillMerger::Input::kUnsortedBlocks,
+                       config.spill_threshold, &shared.gauge);
+    bool ok = true;
+    while (auto piece = pull()) {
+      if (shared.halted()) break;
+      metrics.chunks += 1;
+      metrics.in_bytes += piece->size();
+      if (!sorter.add(std::move(*piece))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !shared.halted())
+      ok = sorter.finish(
+          [&](std::string&& block) {
+            metrics.out_bytes += block.size();
+            return push(std::move(block));
+          },
+          config.block_size);
+    metrics.spilled_bytes = sorter.spilled_bytes();
+    metrics.spill_runs = sorter.runs_spilled();
+    if (!ok && !shared.halted())
+      shared.fail("external sort failed for stage '" +
+                  stage.command->display_name() + "': " + sorter.error());
+    close_out();
+    return;
+  }
+
+  RawSpool spool(config.spill_threshold, &shared.gauge);
+  bool ok = true;
   while (auto piece = pull()) {
     if (shared.halted()) break;
-    all += *piece;
+    metrics.chunks += 1;
+    metrics.in_bytes += piece->size();
+    if (!spool.add(*piece)) {
+      ok = false;
+      break;
+    }
   }
   if (!shared.halted()) {
-    metrics.chunks = 1;
-    metrics.in_bytes = all.size();
-    std::string out = seg.chain.front()->command->run(all);
-    all.clear();
-    all.shrink_to_fit();
-    metrics.out_bytes = out.size();
-    emit_blocks(out, push, config);
+    metrics.spilled_bytes = spool.spilled_bytes();
+    std::string all;
+    if (ok) ok = spool.take(&all);
+    if (!ok) {
+      shared.fail("input spool failed for stage '" + seg.display() +
+                  "': " + spool.error());
+    } else {
+      std::string out = stage.command->run(all);
+      all.clear();
+      all.shrink_to_fit();
+      metrics.out_bytes = out.size();
+      emit_blocks(out, push, config);
+    }
   }
   close_out();
 }
@@ -341,6 +522,16 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
   StreamResult result;
   auto start = Clock::now();
 
+  auto read_error_message = [&config](int err) {
+    if (err == EMSGSIZE)
+      return "input record larger than the spill threshold (" +
+             std::to_string(config.spill_threshold) +
+             " bytes) with no delimiter in sight; raise --spill-threshold "
+             "or check --delimiter: output truncated";
+    return "input read error (errno " + std::to_string(err) +
+           "): output truncated";
+  };
+
   if (stages.empty()) {  // identity pipeline: forward blocks
     while (auto block = reader.next()) {
       if (!sink(*block)) {
@@ -350,8 +541,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     }
     if (!result.stopped_early && reader.error() != 0) {
       result.ok = false;
-      result.error = "input read error (errno " +
-                     std::to_string(reader.error()) + "): output truncated";
+      result.error = read_error_message(reader.error());
     }
     result.seconds = seconds_since(start);
     return result;
@@ -474,10 +664,11 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     // The source died mid-stream: everything downstream completed over a
     // truncated prefix, which must not pass as success.
     result.ok = false;
-    result.error = "input read error (errno " +
-                   std::to_string(reader.error()) + "): output truncated";
+    result.error = read_error_message(reader.error());
   }
   result.peak_inflight_bytes = shared.gauge.peak();
+  for (const NodeMetrics& node : result.nodes)
+    result.spilled_bytes += node.spilled_bytes;
   result.seconds = seconds_since(start);
   return result;
 }
@@ -488,8 +679,10 @@ StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
                            std::istream& input, const Sink& sink,
                            exec::ThreadPool& pool,
                            const StreamConfig& config) {
+  // A record that cannot even be buffered within the spill budget fails
+  // loudly (EMSGSIZE) rather than growing pending_ without bound.
   BlockReader reader(input, {config.block_size == 0 ? 1 : config.block_size,
-                             config.delimiter});
+                             config.delimiter, config.spill_threshold});
   return run_streaming_core(stages, reader, sink, pool, config);
 }
 

@@ -1,8 +1,8 @@
 // The streaming dataflow execution runtime. Lowers the staged plan
 // (compile::lower_plan's ExecStages) into a graph of concurrently running
 // nodes — block reader → worker×k → incremental combiner per parallel
-// segment, pass-through drain nodes for sequential stages — connected by
-// bounded channels, in the spirit of PaSh-style dataflow shell runtimes.
+// segment, drain nodes for sequential stages — connected by bounded
+// channels, in the spirit of PaSh-style dataflow shell runtimes.
 //
 // Contrasts with exec::run_pipeline (the batch path, kept as `--batch`):
 //   - input is consumed in record-aligned blocks (stream::BlockReader)
@@ -14,7 +14,15 @@
 //     total fold work near one k-way combine) instead of waiting for all
 //     chunks. Segments whose combiner is plain concat over
 //     newline-terminated outputs skip accumulation entirely and emit chunk
-//     outputs downstream the moment they are next in order.
+//     outputs downstream the moment they are next in order;
+//   - accumulation past `spill_threshold` moves to disk (stream/spill.*,
+//     per the stage's exec::MemoryClass): merge-mode combiners spill chunk
+//     outputs as sorted runs and k-way-merge them back to the stream,
+//     sequential built-in sort stages run as an external merge sort, and
+//     rerun combiners and materialize stages spool their drain through a
+//     temp file — so with '\n' records every node's resident footprint is
+//     bounded, not just the parallel ones. (The sort/merge spill paths are
+//     line-based and stay in memory under a custom delimiter.)
 //
 // Output is byte-identical to the batch runner whenever the synthesized
 // combiners satisfy their defining property g(f(x), f(y)) = f(x · y) —
@@ -42,6 +50,14 @@ struct StreamConfig {
   std::size_t max_inflight = 0;
   bool use_elimination = true;  // fuse eliminated-combiner chains
   char delimiter = '\n';
+  // In-memory accumulation budget per node before spilling to disk
+  // (sorted-run external merge for sortable stages, raw spool for
+  // materialize/rerun stages). Also caps a single delimiter-free record:
+  // one that outgrows a block and this threshold fails loudly (EMSGSIZE)
+  // instead of ballooning RSS, so the reader buffers at most
+  // max(block_size, spill_threshold) per record. 0 disables spilling (and
+  // the record cap) entirely.
+  std::size_t spill_threshold = 64 << 20;
 };
 
 struct NodeMetrics {
@@ -51,6 +67,8 @@ struct NodeMetrics {
   int chunks = 0;                 // blocks processed by this node
   std::size_t in_bytes = 0;
   std::size_t out_bytes = 0;
+  std::size_t spilled_bytes = 0;  // bytes written to disk by this node
+  int spill_runs = 0;             // sorted runs spilled (external merge)
   double seconds = 0;             // active span (first input to close)
 };
 
@@ -59,6 +77,7 @@ struct StreamResult {
   std::string error;               // set when !ok
   double seconds = 0;
   std::size_t peak_inflight_bytes = 0;  // high-water mark across channels
+  std::size_t spilled_bytes = 0;        // total spilled across nodes
   std::vector<NodeMetrics> nodes;
   bool stopped_early = false;      // the sink returned false (ok stays true)
   bool combine_undefined = false;  // !ok because a combiner bailed mid-fold

@@ -324,11 +324,19 @@ class SortCommand final : public Command {
     return {spec_.sort_stream(input), 0, {}};
   }
 
+  const SortSpec& spec() const { return spec_; }
+
  private:
   SortSpec spec_;
 };
 
 }  // namespace
+
+std::shared_ptr<const SortSpec> sort_spec_of(const Command& command) {
+  const auto* sort = dynamic_cast<const SortCommand*>(&command);
+  if (sort == nullptr) return nullptr;
+  return std::make_shared<const SortSpec>(sort->spec());
+}
 
 CommandPtr make_sort_command(const Argv& argv, std::string* error) {
   std::vector<std::string> flags(argv.begin() + 1, argv.end());

@@ -7,6 +7,7 @@
 // infrastructure forces serial sort just like the paper's, §4).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -71,5 +72,12 @@ class SortSpec {
 };
 
 CommandPtr make_sort_command(const Argv& argv, std::string* error);
+
+// The SortSpec behind a built-in `sort` command instance, or nullptr when
+// `command` is not one. Lets the streaming runtime (stream/spill.*) run a
+// sequential sort stage as an external merge sort — spec->sort_stream is
+// the command's exact semantics, so spilled sorted runs re-merged under the
+// same comparator reproduce its output byte-for-byte.
+std::shared_ptr<const SortSpec> sort_spec_of(const Command& command);
 
 }  // namespace kq::cmd

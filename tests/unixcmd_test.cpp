@@ -146,6 +146,43 @@ TEST(Sort, KeyNumeric) {
   EXPECT_EQ(run("sort -k1n", "10 a\n2 b\n"), "2 b\n10 a\n");
 }
 
+// GNU-compat -n edge cases: parse_numeric skips leading blanks, reads an
+// optional '-' and digits, and treats anything non-numeric as 0. These lock
+// in the tie orders the external merge (stream/spill.*) must reproduce.
+
+TEST(Sort, NumericLeadingBlanksIgnored) {
+  // "  10" parses as 10 despite the indent, like GNU sort -n (implicit -b).
+  EXPECT_EQ(run("sort -n", "  10\n9\n 2\n"), " 2\n9\n  10\n");
+}
+
+TEST(Sort, NumericBareMinusCountsAsZero) {
+  // A bare "-" has a sign but no digits: value 0, not negative infinity.
+  // Ties against other zeros break bytewise ('-' 0x2D < '0' 0x30).
+  EXPECT_EQ(run("sort -n", "1\n-\n0\n-1\n"), "-1\n-\n0\n1\n");
+}
+
+TEST(Sort, NumericNonNumericPrefixesTieAsZero) {
+  // "abc" and "xyz" both parse as 0: they tie with "0" numerically and the
+  // last-resort bytewise comparison orders the group.
+  EXPECT_EQ(run("sort -n", "xyz\n1\nabc\n0\n"), "0\nabc\nxyz\n1\n");
+}
+
+TEST(Sort, NumericStableKeepsTieInputOrder) {
+  // -s drops the last-resort comparison: all-zero keys keep input order.
+  EXPECT_EQ(run("sort -ns", "xyz\nabc\n0\nmno\n"), "xyz\nabc\n0\nmno\n");
+}
+
+TEST(Sort, NumericStableStillSortsDistinctKeys) {
+  // Distinct keys sort; the two 2-keyed lines keep their input order.
+  EXPECT_EQ(run("sort -ns", "2 b\n1 z\n2 a\n"), "1 z\n2 b\n2 a\n");
+}
+
+TEST(Sort, NumericUniqueCollapsesZeroTies) {
+  // -u compares keys only: every non-numeric line is "0", so one survivor —
+  // the first in sorted order (stable, so the first zero-key line seen).
+  EXPECT_EQ(run("sort -nu", "xyz\nabc\n1\n0\n"), "xyz\n1\n");
+}
+
 TEST(Sort, ParallelFlagIgnored) {
   EXPECT_EQ(run("sort --parallel=1", "b\na\n"), "a\nb\n");
 }
