@@ -112,6 +112,7 @@ struct Measurement {  // POD: shipped over a pipe from the forked child
   std::size_t out_bytes = 0;
   std::size_t peak_inflight = 0;  // streaming only
   std::size_t spilled = 0;        // streaming only
+  std::size_t bytes_read = 0;     // input bytes the BlockReader delivered
 };
 
 // Set when any measurement ran in-process because fork was unavailable:
@@ -197,6 +198,7 @@ Measurement run_streaming_file(const Compiled& compiled,
   m.out_bytes = out_bytes;
   m.peak_inflight = r.peak_inflight_bytes;
   m.spilled = r.spilled_bytes;
+  m.bytes_read = r.bytes_read;
   return m;
 }
 
@@ -330,6 +332,74 @@ int main(int argc, char** argv) {
     if (enforce_bounded && pipeline.gate_memory &&
         s.rss_growth > input_bytes / 2)
       bounded = false;
+  }
+
+  // Per-block stream-chain section: the same streamable chain lowered
+  // sequentially runs as one fused kStatelessStream node; its twin with
+  // the memory class forced back to kMaterialize is the PR 2 baseline
+  // (drain + spool + one whole-stream execution per stage). The chain must
+  // be at least as fast and stay block-bounded.
+  {
+    const char* kChain = "grep a | tr a-z A-Z | cut -c 1-32";
+    Compiled seq = compile_one(kChain, cache);
+    for (auto& stage : seq.plan.stages) stage.parallel = false;
+    seq.stages = compile::lower_plan(seq.plan);
+    Compiled mat = seq;
+    for (auto& stage : mat.stages) {
+      // Re-wrap each command as an opaque lambda: same semantics, no
+      // streamability declaration, so the runtime cannot re-upgrade the
+      // baseline to a stream chain.
+      cmd::CommandPtr orig = stage.command;
+      stage.command = cmd::make_lambda_command(
+          orig->display_name(),
+          [orig](std::string_view in) { return orig->run(in); });
+      stage.memory_class = exec::MemoryClass::kMaterialize;
+    }
+
+    std::cout << "\nsequential streamable chain: " << kChain << "\n";
+    Measurement chain_m = run_isolated(
+        [&] { return run_streaming_file(seq, path, 1, config); });
+    std::cout << "  stream-chain: " << chain_m.seconds << " s, "
+              << mib_per_s(input_bytes, chain_m.seconds)
+              << " MiB/s, RSS growth " << (chain_m.rss_growth >> 20)
+              << " MiB\n";
+    Measurement mat_m = run_isolated(
+        [&] { return run_streaming_file(mat, path, 1, config); });
+    std::cout << "  materialize:  " << mat_m.seconds << " s, "
+              << mib_per_s(input_bytes, mat_m.seconds)
+              << " MiB/s, RSS growth " << (mat_m.rss_growth >> 20)
+              << " MiB, spilled " << (mat_m.spilled >> 20) << " MiB\n"
+              << "  speedup chain/materialize: "
+              << mat_m.seconds / chain_m.seconds << "x\n";
+    if (!chain_m.ok || !mat_m.ok) all_ok = false;
+    if (chain_m.out_bytes != mat_m.out_bytes) {
+      std::cout << "  ERROR: output size mismatch (chain "
+                << chain_m.out_bytes << " vs materialize " << mat_m.out_bytes
+                << ")\n";
+      all_ok = false;
+    }
+    if (speed_check && chain_m.seconds > mat_m.seconds * 1.05)
+      all_faster = false;
+    if (enforce_bounded && chain_m.rss_growth > input_bytes / 2)
+      bounded = false;
+  }
+
+  // Prefix early-exit: head -n 10 must cancel the upstream reader after
+  // O(blocks), not drain the input — a bytes-read budget, not a timing.
+  {
+    Compiled head = compile_one("head -n 10", cache);
+    Measurement h = run_isolated(
+        [&] { return run_streaming_file(head, path, k, config); });
+    std::size_t read_budget = 4 * config.block_size + (1 << 20);
+    std::cout << "\nearly exit: head -n 10 read " << (h.bytes_read >> 10)
+              << " KiB of " << (input_bytes >> 20) << " MiB in " << h.seconds
+              << " s (budget " << (read_budget >> 10) << " KiB)\n";
+    if (!h.ok) all_ok = false;
+    if (h.bytes_read > read_budget) {
+      std::cout << "  ERROR: early exit read past the budget — upstream "
+                   "cancellation is not propagating\n";
+      all_ok = false;
+    }
   }
 
   std::cout << "\nverdict: streaming "

@@ -159,7 +159,8 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
       return 1;
     }
     std::cerr << "kumquat: " << result.seconds << " s at k=" << k
-              << ", streaming, peak " << result.peak_inflight_bytes
+              << ", streaming, read " << result.bytes_read
+              << " input bytes, peak " << result.peak_inflight_bytes
               << " bytes in flight";
     if (result.spilled_bytes != 0)
       std::cerr << ", spilled " << result.spilled_bytes << " bytes to disk";

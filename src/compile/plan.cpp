@@ -89,6 +89,11 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
           };
     }
     // Memory class: how the streaming runtime may bound this stage. A
+    // declared-streamable command runs per block through a fused
+    // stream-chain node: every prefix-bounded stage (head — early exit and
+    // upstream cancellation beat data parallelism on a command whose output
+    // is a bounded prefix) and any per-record stage the plan left
+    // sequential (synthesis failed, rerun does not reduce, or k = 1). A
     // parallel merge-combined stage spills its sorted chunk outputs as runs
     // (comparator = the combiner's merge spec); a sequential built-in sort
     // externalizes with its own spec; parallel concat/fold stages are
@@ -97,8 +102,13 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
         p.synthesis && p.synthesis->success ? p.synthesis->combiner.primary()
                                             : nullptr;
     stage.rerun_combiner = primary && primary->node->op == dsl::Op::kRerun;
-    if (stage.parallel && primary && primary->node->op == dsl::Op::kMerge &&
-        primary->merge_spec) {
+    const cmd::Streamability streamable =
+        p.command ? p.command->streamability() : cmd::Streamability::kNone;
+    if (streamable == cmd::Streamability::kPrefix ||
+        (streamable == cmd::Streamability::kPerRecord && !stage.parallel)) {
+      stage.memory_class = exec::MemoryClass::kStatelessStream;
+    } else if (stage.parallel && primary &&
+               primary->node->op == dsl::Op::kMerge && primary->merge_spec) {
       stage.memory_class = exec::MemoryClass::kSortableSpill;
       stage.sort_spec = primary->merge_spec;
     } else if (stage.parallel &&

@@ -40,6 +40,13 @@ enum class MemoryClass {
   // commands, rerun combiners. Accumulation can still spool through disk,
   // but the single whole-stream execution materializes once.
   kMaterialize,
+  // Declared streamable (cmd::Streamability): the command runs per
+  // record-aligned block through a StreamProcessor, holding O(block) at a
+  // time. Adjacent such stages fuse into one chain node, and a
+  // prefix-bounded command (head) cancels its upstream once satisfied.
+  // Assigned to sequential per-record stages and to every prefix-bounded
+  // stage (where early exit beats data parallelism).
+  kStatelessStream,
 };
 
 struct ExecStage {

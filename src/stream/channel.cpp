@@ -55,6 +55,23 @@ void Channel::abort() {
   not_empty_.notify_all();
 }
 
+void Channel::close_read() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  read_closed_ = true;
+  if (gauge_) {
+    for (const Chunk& c : queue_) gauge_->sub(c.bytes.size());
+  }
+  queue_.clear();
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool Channel::read_closed() const {
+  std::lock_guard lock(mu_);
+  return read_closed_;
+}
+
 Semaphore::Semaphore(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
 
 bool Semaphore::acquire() {
@@ -75,6 +92,21 @@ void Semaphore::cancel() {
   std::lock_guard lock(mu_);
   cancelled_ = true;
   cv_.notify_all();
+}
+
+std::string BufferPool::acquire() {
+  std::lock_guard lock(mu_);
+  if (free_.empty()) return {};
+  std::string buf = std::move(free_.back());
+  free_.pop_back();
+  return buf;
+}
+
+void BufferPool::release(std::string&& buf) {
+  if (buf.capacity() == 0) return;
+  buf.clear();  // keeps the allocation
+  std::lock_guard lock(mu_);
+  if (free_.size() < max_cached_) free_.push_back(std::move(buf));
 }
 
 }  // namespace kq::stream

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace kq::stream {
 
@@ -63,6 +64,19 @@ class Channel {
   // immediately.
   void abort();
 
+  // Consumer-side close: the downstream node needs no more input (head
+  // satisfied its count, or its own downstream closed). Pending chunks are
+  // discarded, blocked producers wake with push() == false, and
+  // read_closed() starts returning true — the signal a producer uses to
+  // tell a clean early exit from an error teardown, and to propagate the
+  // close to *its* upstream. This is how `head -n 10` stops the
+  // BlockReader after O(blocks) instead of draining the input.
+  void close_read();
+
+  // True once the consumer closed its end (close_read), which a producer
+  // may poll mid-drain to stop work whose output nobody will read.
+  bool read_closed() const;
+
   std::size_t capacity() const { return capacity_; }
 
  private:
@@ -74,6 +88,7 @@ class Channel {
   std::deque<Chunk> queue_;
   bool closed_ = false;
   bool aborted_ = false;
+  bool read_closed_ = false;
 };
 
 class Semaphore {
@@ -92,6 +107,29 @@ class Semaphore {
   std::condition_variable cv_;
   std::size_t slots_;
   bool cancelled_ = false;
+};
+
+// Recycles chunk-buffer allocations across blocks so the steady state of a
+// per-block node reuses capacity instead of paying an allocator round trip
+// (and the glibc mmap-threshold dance) per chunk. Buffers circulate: a
+// stream-chain node releases each consumed input block and acquires its
+// push buffers here, so adjacent per-block nodes trade the same strings
+// through the connecting channel.
+class BufferPool {
+ public:
+  // `max_cached` bounds how many free buffers are retained (excess
+  // releases just deallocate); 0 disables pooling entirely.
+  explicit BufferPool(std::size_t max_cached = 32) : max_cached_(max_cached) {}
+
+  // An empty string, with a recycled allocation when one is available.
+  std::string acquire();
+  // Returns a buffer's allocation to the pool (contents are discarded).
+  void release(std::string&& buf);
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> free_;
+  const std::size_t max_cached_;
 };
 
 }  // namespace kq::stream

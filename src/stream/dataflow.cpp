@@ -29,10 +29,12 @@ double seconds_since(Clock::time_point start) {
 // A pipeline segment: one node of the dataflow graph. Sequential stages
 // become single-stage drain nodes; consecutive parallel stages joined by
 // eliminated combiners fuse into one worker chain whose chunk outputs are
-// combined by the final stage's combiner.
+// combined by the final stage's combiner; consecutive declared-streamable
+// stages fuse into one per-block stream-chain node.
 struct Segment {
   std::vector<const exec::ExecStage*> chain;
   bool parallel = false;
+  bool stream = false;       // per-block chain of cmd::StreamProcessors
   bool emit_concat = false;  // combiner is concat: emit instead of folding
   const exec::ExecStage* combine_stage = nullptr;
 
@@ -46,6 +48,24 @@ struct Segment {
   }
 };
 
+// True when the stage may run as (part of) a per-block stream-chain node.
+// Streamability is a statement about *record*-aligned blocks, and the
+// line-based built-ins define records by '\n', so a custom delimiter keeps
+// the materialize path (same rule as the line-based spill paths).
+bool stream_chain_stage(const exec::ExecStage& stage,
+                        const StreamConfig& config) {
+  if (config.delimiter != '\n' || !stage.command) return false;
+  const cmd::Streamability s = stage.command->streamability();
+  if (s == cmd::Streamability::kNone) return false;
+  if (stage.memory_class == exec::MemoryClass::kStatelessStream) return true;
+  // A per-record stage the *plan* left parallel but the *runtime* cannot
+  // parallelize (k = 1) would fall to the sequential materialize drain;
+  // per-block streaming is strictly better there.
+  const bool runs_parallel =
+      stage.parallel && config.parallelism > 1 && stage.combine;
+  return !runs_parallel && s == cmd::Streamability::kPerRecord;
+}
+
 std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
                                     const StreamConfig& config) {
   std::vector<Segment> segments;
@@ -54,15 +74,27 @@ std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
   while (i < stages.size()) {
     Segment seg;
     seg.chain.push_back(&stages[i]);
-    if (stages[i].parallel && parallel_ok && stages[i].combine) {
+    if (stream_chain_stage(stages[i], config)) {
+      // Fuse the maximal run of streamable stages into one per-block node:
+      // a `grep | tr | cut` chain costs one channel hop, not three.
+      seg.stream = true;
+      while (i + 1 < stages.size() &&
+             stream_chain_stage(stages[i + 1], config)) {
+        ++i;
+        seg.chain.push_back(&stages[i]);
+      }
+    } else if (stages[i].parallel && parallel_ok && stages[i].combine) {
       seg.parallel = true;
       // Mirror the batch runner's elimination condition: a stage whose
       // concat combiner is eliminated feeds its substreams straight into
       // the next parallel stage, which here means fusing both into one
-      // worker chain.
+      // worker chain. A streamable next stage is left out: it prefers its
+      // own stream-chain node (head fused into a worker chain would lose
+      // the early exit that makes it O(blocks)).
       while (config.use_elimination && seg.chain.back()->eliminate_combiner &&
              i + 1 < stages.size() && stages[i + 1].parallel &&
-             stages[i + 1].combine) {
+             stages[i + 1].combine &&
+             !stream_chain_stage(stages[i + 1], config)) {
         ++i;
         seg.chain.push_back(&stages[i]);
       }
@@ -75,10 +107,12 @@ std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
   return segments;
 }
 
-// State shared by every node of one run: the memory gauge, the first
-// failure, and the teardown fan-out that unblocks all waiting nodes.
+// State shared by every node of one run: the memory gauge, the chunk
+// buffer pool, the first failure, and the teardown fan-out that unblocks
+// all waiting nodes.
 struct Shared {
   MemoryGauge gauge;
+  BufferPool pool;  // recycled chunk buffers for per-block nodes
   std::atomic<bool> failed{false};
   std::atomic<bool> stopped{false};  // sink asked for an early stop
   std::atomic<bool> combine_undefined{false};
@@ -139,6 +173,10 @@ struct ParallelCtx {
   Semaphore slots;
   std::vector<const cmd::Command*> chain;
   std::atomic<std::ptrdiff_t> expected{-1};  // chunk count, once known
+  // Set by the collector when downstream closed its read side: the feeder
+  // stops pulling (its own input channel is also read-closed, but node 0
+  // pulls straight from the BlockReader, which only this flag can stop).
+  std::atomic<bool> stop_input{false};
 
   std::mutex completion_mu;
   std::condition_variable completion_cv;
@@ -193,7 +231,7 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
   };
 
   while (auto piece = pull()) {
-    if (shared.halted()) break;
+    if (shared.halted() || ctx.stop_input.load()) break;
     if (buf.empty() && piece->size() >= config.block_size) {
       if (!submit(std::move(*piece))) break;
       continue;
@@ -204,7 +242,7 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
       buf.clear();
     }
   }
-  if (!shared.halted()) {
+  if (!shared.halted() && !ctx.stop_input.load()) {
     if (!buf.empty()) submit(std::move(buf));
     // Empty input still runs the chain once, mirroring the batch splitter's
     // single empty chunk, so f("") reaches the output.
@@ -216,9 +254,14 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
 
 // Collector: restores input order, then either emits chunk outputs
 // immediately (concat combiners) or folds them incrementally with doubling
-// group sizes (total fold work O(output · log chunks)).
+// group sizes (total fold work O(output · log chunks)). `out_closed`
+// distinguishes a push that failed because downstream closed its read side
+// (clean early exit: cancel upstream, no error) from a combine failure;
+// `cancel_upstream` stops this segment's feeder and read-closes its input.
 void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
                    const Push& push, const std::function<void()>& close_out,
+                   const std::function<bool()>& out_closed,
+                   const std::function<void()>& cancel_upstream,
                    Shared& shared, const StreamConfig& config) {
   std::map<std::size_t, std::string> out_of_order;
   std::size_t next_emit = 0;
@@ -359,9 +402,15 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
       ++next_emit;
       if (!ok) {
         if (!shared.halted()) {
-          shared.combine_undefined.store(true);
-          shared.fail("incremental combine undefined for stage '" +
-                      seg.combine_stage->command->display_name() + "'");
+          if (out_closed()) {
+            // Downstream has all it needs (a satisfied head, or a closed
+            // sink further down): clean local stop, propagated upstream.
+            cancel_upstream();
+          } else {
+            shared.combine_undefined.store(true);
+            shared.fail("incremental combine undefined for stage '" +
+                        seg.combine_stage->command->display_name() + "'");
+          }
         }
         failed_here = true;
         break;
@@ -378,7 +427,7 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
             return push(std::move(block));
           },
           config.block_size);
-      if (!ok && !shared.halted())
+      if (!ok && !shared.halted() && !out_closed())
         shared.fail("spill merge failed for stage '" +
                     cstage.command->display_name() +
                     "': " + merger->error());
@@ -408,7 +457,7 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
         metrics.out_bytes += acc.size();
         ok = emit_blocks(acc, push, config);
       }
-      if (!ok && !shared.halted()) {
+      if (!ok && !shared.halted() && !out_closed()) {
         shared.combine_undefined.store(true);
         shared.fail("incremental combine undefined for stage '" +
                     seg.combine_stage->command->display_name() + "'");
@@ -433,8 +482,14 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
 // the output for downstream nodes.
 void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
                     const Push& push, const std::function<void()>& close_out,
+                    const std::function<bool()>& out_closed,
+                    const std::function<void()>& cancel_upstream,
                     Shared& shared, const StreamConfig& config) {
   const exec::ExecStage& stage = *seg.chain.front();
+  // A dead downstream makes the whole drain-and-execute pointless: poll the
+  // output side while pulling so a closed sink stops a materialize stage
+  // mid-drain too, and propagate the close to our own upstream.
+  bool abandoned = false;
   // External sorting needs the command's *own* spec and '\n' records (sort
   // is line-based). A plan-sequential sortable stage carries its own spec
   // in sort_spec (lower_plan); a plan-parallel stage forced sequential by
@@ -453,6 +508,10 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
     bool ok = true;
     while (auto piece = pull()) {
       if (shared.halted()) break;
+      if (out_closed()) {
+        abandoned = true;
+        break;
+      }
       metrics.chunks += 1;
       metrics.in_bytes += piece->size();
       if (!sorter.add(std::move(*piece))) {
@@ -460,7 +519,8 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
         break;
       }
     }
-    if (ok && !shared.halted())
+    if (abandoned) cancel_upstream();
+    if (ok && !abandoned && !shared.halted())
       ok = sorter.finish(
           [&](std::string&& block) {
             metrics.out_bytes += block.size();
@@ -469,7 +529,7 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
           config.block_size);
     metrics.spilled_bytes = sorter.spilled_bytes();
     metrics.spill_runs = sorter.runs_spilled();
-    if (!ok && !shared.halted())
+    if (!ok && !shared.halted() && !out_closed())
       shared.fail("external sort failed for stage '" +
                   stage.command->display_name() + "': " + sorter.error());
     close_out();
@@ -480,6 +540,10 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
   bool ok = true;
   while (auto piece = pull()) {
     if (shared.halted()) break;
+    if (out_closed()) {
+      abandoned = true;
+      break;
+    }
     metrics.chunks += 1;
     metrics.in_bytes += piece->size();
     if (!spool.add(*piece)) {
@@ -487,7 +551,8 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
       break;
     }
   }
-  if (!shared.halted()) {
+  if (abandoned) cancel_upstream();
+  if (!shared.halted() && !abandoned) {
     metrics.spilled_bytes = spool.spilled_bytes();
     std::string all;
     if (ok) ok = spool.take(&all);
@@ -500,6 +565,117 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
       all.shrink_to_fit();
       metrics.out_bytes = out.size();
       emit_blocks(out, push, config);
+    }
+  }
+  close_out();
+}
+
+// Per-block stream-chain node: the fused run of declared-streamable stages
+// (exec::MemoryClass::kStatelessStream). Each pulled block cascades through
+// the chain's StreamProcessors and the final output is pushed downstream —
+// nothing is accumulated, so the node holds O(block) regardless of input
+// size. When a prefix-bounded processor (head) reports its output complete,
+// the node stops pulling and cancels upstream so the whole graph behind it
+// (ultimately the BlockReader) stops; when downstream closes, the same
+// cancellation propagates backward. Chain-intermediate buffers are reused
+// across blocks, consumed input blocks return to the shared pool, and push
+// buffers come from it — stateful processors (tr, sed, head) then append
+// into recycled capacity; PerBlockProcessor-backed stages still pay their
+// execute()'s internal allocation, which the pool cannot reach.
+void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
+                      const Pull& pull, const Push& push,
+                      const std::function<void()>& close_out,
+                      const std::function<bool()>& out_closed,
+                      const std::function<void()>& cancel_upstream,
+                      Shared& shared, const StreamConfig& config) {
+  (void)config;
+  const std::size_t n = seg.chain.size();
+  std::vector<std::unique_ptr<cmd::StreamProcessor>> procs;
+  procs.reserve(n);
+  for (const exec::ExecStage* s : seg.chain) {
+    auto p = s->command->stream_processor();
+    if (!p) {  // classification bug; fail loudly rather than drop data
+      shared.fail("stage '" + s->command->display_name() +
+                  "' classified streamable but has no stream processor");
+      close_out();
+      return;
+    }
+    procs.push_back(std::move(p));
+  }
+
+  std::vector<std::string> bufs(n);      // intermediates, reused per block
+  std::vector<bool> done(n, false);      // output complete (kPrefix bound)
+  bool pushed_ok = true;
+
+  // Cascades `data` through processors [from, n) and pushes the final
+  // stage's output; from == n pushes `data` itself (finish() tails).
+  auto feed = [&](std::string_view data, std::size_t from) -> bool {
+    std::string_view cur = data;
+    std::string out;  // pooled buffer holding the final stage's output
+    bool have_out = false;
+    for (std::size_t j = from; j < n; ++j) {
+      if (done[j]) return true;  // complete: the rest of the chain saw all
+      std::string* target = &bufs[j];
+      if (j + 1 == n) {
+        out = shared.pool.acquire();
+        target = &out;
+        have_out = true;
+      }
+      target->clear();
+      if (!procs[j]->process(cur, target)) done[j] = true;
+      cur = *target;
+    }
+    if (cur.empty()) {
+      if (have_out) shared.pool.release(std::move(out));
+      return true;
+    }
+    if (!have_out) out.assign(cur);
+    const std::size_t pushed = out.size();
+    if (!push(std::move(out))) return false;
+    metrics.out_bytes += pushed;  // count only what downstream accepted
+    return true;
+  };
+
+  auto input_done = [&] {
+    for (std::size_t j = 0; j < n; ++j)
+      if (done[j]) return true;  // some stage needs no further input
+    return false;
+  };
+
+  bool down_closed = false;
+  while (!input_done()) {
+    auto piece = pull();
+    if (!piece) break;
+    if (shared.halted()) break;
+    if (out_closed()) {
+      down_closed = true;
+      break;
+    }
+    metrics.chunks += 1;
+    metrics.in_bytes += piece->size();
+    pushed_ok = feed(*piece, 0);
+    shared.pool.release(std::move(*piece));
+    if (!pushed_ok) {
+      if (!shared.halted() && out_closed()) down_closed = true;
+      break;
+    }
+  }
+
+  const bool early = input_done();
+  if ((early || down_closed) && !shared.halted()) cancel_upstream();
+
+  if (pushed_ok && !down_closed && !shared.halted()) {
+    // End-of-input flush: tail state of each still-open processor cascades
+    // through the rest of the chain. Stages before a completed one are
+    // skipped — their output could only feed a stage that needs nothing.
+    std::size_t first = 0;
+    while (first < n && !done[first]) ++first;
+    std::string tail;
+    for (std::size_t j = (first < n ? first + 1 : 0); j < n; ++j) {
+      if (done[j]) continue;
+      tail.clear();
+      procs[j]->finish(&tail);
+      if (!tail.empty() && !feed(tail, j + 1)) break;
     }
   }
   close_out();
@@ -543,6 +719,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
       result.ok = false;
       result.error = read_error_message(reader.error());
     }
+    result.bytes_read = reader.bytes_delivered();
     result.seconds = seconds_since(start);
     return result;
   }
@@ -562,6 +739,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     result.nodes[i].commands = segments[i].display();
     result.nodes[i].parallel = segments[i].parallel;
     result.nodes[i].streamed_combine = segments[i].emit_concat;
+    result.nodes[i].per_block = segments[i].stream;
     if (segments[i].parallel) {
       ctxs[i] =
           std::make_unique<ParallelCtx>(config.max_inflight, &shared.gauge);
@@ -592,6 +770,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     }
     Push push;
     std::function<void()> close_out;
+    std::function<bool()> out_closed;
     if (i + 1 == n) {
       push = [&sink, &shared](std::string&& bytes) {
         if (sink(bytes)) return true;
@@ -599,6 +778,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
         return false;
       };
       close_out = [] {};
+      out_closed = [&shared] { return shared.stopped.load(); };
     } else {
       Channel* out = links[i].get();
       auto ordinal = std::make_shared<std::size_t>(0);
@@ -606,7 +786,21 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
         return out->push(Chunk{(*ordinal)++, std::move(bytes)});
       };
       close_out = [out] { out->close(); };
+      out_closed = [out] { return out->read_closed(); };
     }
+    // Upstream cancellation: read-close the incoming channel (wakes a
+    // blocked producer, whose failed push cascades the close further up)
+    // and stop this segment's own feeder if it has one. Node 0 pulls from
+    // the BlockReader, which simply stops being asked for blocks.
+    Channel* in_link = i > 0 ? links[i - 1].get() : nullptr;
+    ParallelCtx* ctx_ptr = ctxs[i].get();
+    std::function<void()> cancel_upstream = [in_link, ctx_ptr] {
+      if (ctx_ptr) {
+        ctx_ptr->stop_input.store(true);
+        ctx_ptr->slots.cancel();
+      }
+      if (in_link) in_link->close_read();
+    };
 
     const Segment& seg = segments[i];
     NodeMetrics& metrics = result.nodes[i];
@@ -621,29 +815,41 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
               static_cast<std::ptrdiff_t>(ctx.tasks_submitted));
         }
       });
-      threads.emplace_back(
-          [&seg, &ctx, &metrics, push, close_out, &shared, &config, start] {
-            try {
-              run_collector(seg, ctx, metrics, push, close_out, shared,
-                            config);
-            } catch (const std::exception& e) {
-              shared.fail(std::string("collector failed: ") + e.what());
-              close_out();
-            }
-            metrics.seconds = seconds_since(start);
-          });
+      threads.emplace_back([&seg, &ctx, &metrics, push, close_out, out_closed,
+                            cancel_upstream, &shared, &config, start] {
+        try {
+          run_collector(seg, ctx, metrics, push, close_out, out_closed,
+                        cancel_upstream, shared, config);
+        } catch (const std::exception& e) {
+          shared.fail(std::string("collector failed: ") + e.what());
+          close_out();
+        }
+        metrics.seconds = seconds_since(start);
+      });
+    } else if (seg.stream) {
+      threads.emplace_back([&seg, &metrics, pull, push, close_out, out_closed,
+                            cancel_upstream, &shared, &config, start] {
+        try {
+          run_stream_chain(seg, metrics, pull, push, close_out, out_closed,
+                           cancel_upstream, shared, config);
+        } catch (const std::exception& e) {
+          shared.fail(std::string("stream stage failed: ") + e.what());
+          close_out();
+        }
+        metrics.seconds = seconds_since(start);
+      });
     } else {
-      threads.emplace_back(
-          [&seg, &metrics, pull, push, close_out, &shared, &config, start] {
-            try {
-              run_sequential(seg, metrics, pull, push, close_out, shared,
-                             config);
-            } catch (const std::exception& e) {
-              shared.fail(std::string("stage failed: ") + e.what());
-              close_out();
-            }
-            metrics.seconds = seconds_since(start);
-          });
+      threads.emplace_back([&seg, &metrics, pull, push, close_out, out_closed,
+                            cancel_upstream, &shared, &config, start] {
+        try {
+          run_sequential(seg, metrics, pull, push, close_out, out_closed,
+                         cancel_upstream, shared, config);
+        } catch (const std::exception& e) {
+          shared.fail(std::string("stage failed: ") + e.what());
+          close_out();
+        }
+        metrics.seconds = seconds_since(start);
+      });
     }
   }
 
@@ -657,6 +863,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
   result.ok = !shared.failed.load();
   result.stopped_early = shared.stopped.load();
   result.combine_undefined = shared.combine_undefined.load();
+  result.bytes_read = reader.bytes_delivered();
   if (!result.ok) {
     std::lock_guard lock(shared.error_mu);
     result.error = shared.error;

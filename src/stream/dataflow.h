@@ -8,6 +8,14 @@
 //   - input is consumed in record-aligned blocks (stream::BlockReader)
 //     rather than slurped whole, so memory stays O(capacity · block_size)
 //     for concat-combined pipelines instead of O(input);
+//   - declared-streamable stages (exec::MemoryClass::kStatelessStream:
+//     per-record filters/maps like grep/tr/cut/sed, prefix-bounded head)
+//     run per block through cmd::StreamProcessors, with adjacent streamable
+//     stages fused into one chain node — a `grep | tr | cut` chain costs
+//     one channel hop — and a satisfied prefix (head) closes its input,
+//     the close propagating upstream channel by channel until the
+//     BlockReader stops reading: `head -n 10` costs O(blocks), not
+//     O(input);
 //   - all pipeline segments run concurrently instead of in stage barriers;
 //   - combining is incremental: each segment's combiner folds chunk
 //     outputs as they arrive in input order (doubling group sizes keep the
@@ -64,6 +72,7 @@ struct NodeMetrics {
   std::string commands;           // fused chain display, " | " separated
   bool parallel = false;
   bool streamed_combine = false;  // concat emission, no accumulation
+  bool per_block = false;         // stream-chain node (kStatelessStream)
   int chunks = 0;                 // blocks processed by this node
   std::size_t in_bytes = 0;
   std::size_t out_bytes = 0;
@@ -78,6 +87,9 @@ struct StreamResult {
   double seconds = 0;
   std::size_t peak_inflight_bytes = 0;  // high-water mark across channels
   std::size_t spilled_bytes = 0;        // total spilled across nodes
+  // Input bytes the BlockReader delivered — far below the input size when
+  // a prefix-bounded stage (head) cancelled the upstream early.
+  std::size_t bytes_read = 0;
   std::vector<NodeMetrics> nodes;
   bool stopped_early = false;      // the sink returned false (ok stays true)
   bool combine_undefined = false;  // !ok because a combiner bailed mid-fold

@@ -5,7 +5,10 @@
 // Table 9) plus common nearby variants.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "unixcmd/command.h"
@@ -14,6 +17,16 @@
 namespace kq::cmd {
 
 using Argv = std::vector<std::string>;
+
+// Parses a nonnegative decimal count, saturating at the type's maximum
+// instead of overflowing (signed overflow would be UB and yield a garbage
+// count): `head -n 99999999999999999999` means "all of it", matching GNU,
+// which accepts absurd counts as effectively infinite. Returns nullopt on
+// empty or non-digit input. Shared by every built-in that parses counts
+// (head/tail line counts, sed addresses, sort -k field numbers, cut
+// position lists, fmt widths).
+std::optional<long> parse_count(std::string_view s);
+std::optional<std::size_t> parse_size_count(std::string_view s);
 
 CommandPtr make_cat(const Argv& argv, const vfs::Vfs* fs, std::string* error);
 CommandPtr make_tr(const Argv& argv, std::string* error);

@@ -27,6 +27,47 @@ struct Result {
   bool ok() const { return status == 0; }
 };
 
+// How a command's output relates to record-aligned prefixes of its input.
+// This is the streamability declaration that lets the streaming runtime
+// (stream/dataflow.cpp) run a stage per block instead of materializing its
+// whole input — the order-aware-dataflow / PaSh notion of a pure
+// stateless/streaming command, declared rather than inferred because the
+// built-ins know their own semantics.
+enum class Streamability {
+  // Black box: the command may need the whole input at once.
+  kNone,
+  // Record-wise: there is a processor p (possibly stateful, with bounded
+  // state) such that feeding record-aligned blocks in order and
+  // concatenating the outputs equals one whole-input execute(). Pure
+  // per-record filters/maps (grep, tr, cut, rev) and bounded-state
+  // line-counting forms (tail +N, sed Nd) fall here.
+  kPerRecord,
+  // Record-wise over a bounded prefix: after some point the output is
+  // complete and further input cannot change it (head -n N, sed Nq). The
+  // runtime may cancel the upstream graph once the processor reports done.
+  kPrefix,
+};
+
+// Stateful per-block executor behind a streamable command. One processor
+// serves exactly one stream: the runtime feeds record-aligned blocks in
+// input order and concatenates the appended outputs, which must equal
+// execute() over the concatenated blocks. Unlike Command (shared across
+// worker threads), a processor is owned by a single dataflow node and need
+// not be thread-safe.
+class StreamProcessor {
+ public:
+  virtual ~StreamProcessor() = default;
+  // Processes one record-aligned block, appending output to *out. Returns
+  // false once the output is complete regardless of further input (a
+  // kPrefix command satisfied its bound): the caller stops feeding this
+  // stream and may cancel upstream work. Must append nothing on any call
+  // after the one that returned false.
+  virtual bool process(std::string_view block, std::string* out) = 0;
+  // Appends any end-of-input tail output. Most streamable commands emit
+  // everything in process(); the default is a no-op.
+  virtual void finish(std::string* out) { (void)out; }
+};
+
 class Command {
  public:
   virtual ~Command() = default;
@@ -43,12 +84,42 @@ class Command {
   // Convenience wrapper for the common success path.
   std::string run(std::string_view input) const { return execute(input).out; }
 
+  // This command's streamability class; kNone unless a built-in declares
+  // otherwise. Must agree with stream_processor(): non-kNone iff non-null.
+  virtual Streamability streamability() const { return Streamability::kNone; }
+
+  // A fresh per-stream processor for a streamable command (the instance
+  // must outlive the processor). Null for kNone commands.
+  virtual std::unique_ptr<StreamProcessor> stream_processor() const {
+    return nullptr;
+  }
+
  protected:
   explicit Command(std::string display_name)
       : display_name_(std::move(display_name)) {}
 
  private:
   std::string display_name_;
+};
+
+// Processor for commands whose execute() is already record-wise pure:
+// running the command block-by-block and concatenating equals one
+// whole-input run (no state crosses a record boundary). Shared by grep,
+// cut, rev, and the other stateless per-record built-ins.
+class PerBlockProcessor final : public StreamProcessor {
+ public:
+  explicit PerBlockProcessor(const Command& command) : command_(command) {}
+  bool process(std::string_view block, std::string* out) override {
+    Result r = command_.execute(block);
+    if (out->empty())
+      *out = std::move(r.out);
+    else
+      out->append(r.out);
+    return true;
+  }
+
+ private:
+  const Command& command_;
 };
 
 using CommandPtr = std::shared_ptr<const Command>;

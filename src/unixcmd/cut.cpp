@@ -24,15 +24,9 @@ std::optional<std::vector<Range>> parse_list(std::string_view list) {
   for (std::string_view part : text::split(list, ',')) {
     if (part.empty()) return std::nullopt;
     std::size_t dash = part.find('-');
-    auto parse_num = [](std::string_view s) -> std::optional<std::size_t> {
-      if (s.empty()) return std::nullopt;
-      std::size_t v = 0;
-      for (char c : s) {
-        if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
-        v = v * 10 + static_cast<std::size_t>(c - '0');
-      }
-      return v;
-    };
+    // Saturating parse: a range bound past SIZE_MAX collapses to the
+    // open-ended sentinel instead of wrapping into a garbage position.
+    auto parse_num = [](std::string_view s) { return parse_size_count(s); };
     if (dash == std::string_view::npos) {
       auto n = parse_num(part);
       if (!n || *n == 0) return std::nullopt;
@@ -96,6 +90,15 @@ class CutCommand final : public Command {
       out.push_back('\n');
     }
     return {std::move(out), 0, {}};
+  }
+
+  // Pure per-line map (GNU cut re-terminates an unterminated final line,
+  // which composes per block).
+  Streamability streamability() const override {
+    return Streamability::kPerRecord;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    return std::make_unique<PerBlockProcessor>(*this);
   }
 
  private:

@@ -45,6 +45,17 @@ class GrepCommand final : public Command {
     return {std::move(out), selected > 0 ? 0 : 1, {}};
   }
 
+  // Plain grep is a pure per-line filter (GNU grep re-terminates a matched
+  // unterminated final line, so even that case composes per block); -c
+  // aggregates a global count and must see the whole input.
+  Streamability streamability() const override {
+    return count_ ? Streamability::kNone : Streamability::kPerRecord;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    if (count_) return nullptr;
+    return std::make_unique<PerBlockProcessor>(*this);
+  }
+
  private:
   regex::Regex re_;
   bool invert_, count_, fold_;

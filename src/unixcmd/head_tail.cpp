@@ -1,8 +1,21 @@
 // Built-in `head` and `tail`. head: default 10 lines, -N, -n N.
 // tail: -n N (last N lines), +N / -n +N (from line N onward, the form whose
 // combiner provably does not exist — Table 9).
+//
+// Both preserve a missing final newline: like GNU head/tail they copy the
+// input's bytes, so an unterminated last line stays unterminated (the old
+// code re-terminated every emitted line). Counts parse through the shared
+// saturating parse_count, so `head -n 99999999999999999999` means "all of
+// it" instead of signed-overflow garbage.
+//
+// head is the canonical prefix-bounded streamable command: its processor
+// reports done once the count is satisfied, which lets the streaming
+// runtime cancel the upstream graph — `head -n 10` over a multi-GiB input
+// reads O(blocks), not the whole file. `tail +N` streams too (skip a
+// bounded prefix, then pass through); `tail -n N` needs the end of the
+// input and stays a black box.
 
-#include <cctype>
+#include <algorithm>
 #include <optional>
 
 #include "text/streams.h"
@@ -11,15 +24,37 @@
 namespace kq::cmd {
 namespace {
 
-std::optional<long> parse_count(std::string_view s) {
-  if (s.empty()) return std::nullopt;
-  long v = 0;
-  for (char c : s) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
-    v = v * 10 + (c - '0');
+// Appends the lines of `input` with indices in [begin, end) to *out,
+// re-terminating each except an unterminated final input line (GNU
+// behavior: the missing newline is preserved, not invented).
+void append_lines(std::string_view input,
+                  const std::vector<std::string_view>& ls, std::size_t begin,
+                  std::size_t end, std::string* out) {
+  end = std::min(end, ls.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    *out += ls[i];
+    if (i + 1 < ls.size() || input.ends_with('\n')) out->push_back('\n');
   }
-  return v;
 }
+
+class HeadStreamProcessor final : public StreamProcessor {
+ public:
+  explicit HeadStreamProcessor(long n) : remaining_(n) {}
+
+  bool process(std::string_view block, std::string* out) override {
+    if (remaining_ <= 0) return false;
+    auto ls = text::lines(block);
+    std::size_t take = ls.size();
+    if (remaining_ < static_cast<long>(ls.size()))
+      take = static_cast<std::size_t>(remaining_);
+    append_lines(block, ls, 0, take, out);
+    remaining_ -= static_cast<long>(take);
+    return remaining_ > 0;
+  }
+
+ private:
+  long remaining_;
+};
 
 class HeadCommand final : public Command {
  public:
@@ -27,18 +62,49 @@ class HeadCommand final : public Command {
 
   Result execute(std::string_view input) const override {
     std::string out;
-    long emitted = 0;
-    for (std::string_view line : text::lines(input)) {
-      if (emitted >= n_) break;
-      out += line;
-      out.push_back('\n');
-      ++emitted;
-    }
+    auto ls = text::lines(input);
+    std::size_t take =
+        n_ < static_cast<long>(ls.size()) && n_ >= 0
+            ? static_cast<std::size_t>(n_)
+            : ls.size();
+    append_lines(input, ls, 0, take, &out);
     return {std::move(out), 0, {}};
+  }
+
+  Streamability streamability() const override {
+    return Streamability::kPrefix;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    return std::make_unique<HeadStreamProcessor>(n_);
   }
 
  private:
   long n_;
+};
+
+// `tail +N`: drop the first N-1 lines, then pass records through — a
+// bounded-state per-record stream (the skip counter).
+class TailFromStreamProcessor final : public StreamProcessor {
+ public:
+  explicit TailFromStreamProcessor(long from_line)
+      : skip_(from_line > 0 ? from_line - 1 : 0) {}
+
+  bool process(std::string_view block, std::string* out) override {
+    if (skip_ == 0) {  // steady state: pure pass-through
+      out->append(block);
+      return true;
+    }
+    auto ls = text::lines(block);
+    std::size_t drop = ls.size();
+    if (skip_ < static_cast<long>(ls.size()))
+      drop = static_cast<std::size_t>(skip_);
+    skip_ -= static_cast<long>(drop);
+    append_lines(block, ls, drop, ls.size(), out);
+    return true;
+  }
+
+ private:
+  long skip_;
 };
 
 class TailCommand final : public Command {
@@ -57,11 +123,16 @@ class TailCommand final : public Command {
     } else if (ls.size() > static_cast<std::size_t>(last_n_)) {
       begin = ls.size() - static_cast<std::size_t>(last_n_);
     }
-    for (std::size_t i = begin; i < ls.size(); ++i) {
-      out += ls[i];
-      out.push_back('\n');
-    }
+    append_lines(input, ls, begin, ls.size(), &out);
     return {std::move(out), 0, {}};
+  }
+
+  Streamability streamability() const override {
+    return from_line_ > 0 ? Streamability::kPerRecord : Streamability::kNone;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    if (from_line_ <= 0) return nullptr;
+    return std::make_unique<TailFromStreamProcessor>(from_line_);
   }
 
  private:
@@ -103,6 +174,8 @@ CommandPtr make_head(const Argv& argv, std::string* error) {
 
 CommandPtr make_tail(const Argv& argv, std::string* error) {
   long from_line = 0, last_n = 10;
+  // GNU treats `tail +0` / `tail -n +0` like +1: output the whole input.
+  auto from = [](long n) { return n > 0 ? n : 1; };
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
     if (a == "-n") {
@@ -112,12 +185,12 @@ CommandPtr make_tail(const Argv& argv, std::string* error) {
       }
       const std::string& v = argv[++i];
       if (!v.empty() && v[0] == '+') {
-        auto n = parse_count(v.substr(1));
+        auto n = parse_count(std::string_view(v).substr(1));
         if (!n) {
           if (error) *error = "tail: bad count";
           return nullptr;
         }
-        from_line = *n;
+        from_line = from(*n);
       } else {
         auto n = parse_count(v);
         if (!n) {
@@ -127,14 +200,14 @@ CommandPtr make_tail(const Argv& argv, std::string* error) {
         last_n = *n;
       }
     } else if (!a.empty() && a[0] == '+') {
-      auto n = parse_count(a.substr(1));
+      auto n = parse_count(std::string_view(a).substr(1));
       if (!n) {
         if (error) *error = "tail: bad count";
         return nullptr;
       }
-      from_line = *n;
+      from_line = from(*n);
     } else if (a.size() >= 2 && a[0] == '-') {
-      auto n = parse_count(a.substr(1));
+      auto n = parse_count(std::string_view(a).substr(1));
       if (!n) {
         if (error) *error = "tail: unsupported flag " + a;
         return nullptr;

@@ -36,6 +36,17 @@ class CatCommand final : public Command {
     return {std::move(out), status, std::move(err)};
   }
 
+  // Bare `cat` is the identity and streams trivially; with file operands
+  // the output is (partly) input-independent and a per-block run would
+  // repeat the files once per block.
+  Streamability streamability() const override {
+    return files_.empty() ? Streamability::kPerRecord : Streamability::kNone;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    if (!files_.empty()) return nullptr;
+    return std::make_unique<PerBlockProcessor>(*this);
+  }
+
  private:
   std::vector<std::string> files_;
   const vfs::Vfs* fs_;
@@ -48,11 +59,21 @@ class RevCommand final : public Command {
   Result execute(std::string_view input) const override {
     std::string out;
     out.reserve(input.size());
-    for (std::string_view line : text::lines(input)) {
-      out.append(line.rbegin(), line.rend());
-      out.push_back('\n');
+    auto ls = text::lines(input);
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      out.append(ls[i].rbegin(), ls[i].rend());
+      // util-linux rev preserves a missing final newline.
+      if (i + 1 < ls.size() || input.ends_with('\n')) out.push_back('\n');
     }
     return {std::move(out), 0, {}};
+  }
+
+  // Pure per-line map.
+  Streamability streamability() const override {
+    return Streamability::kPerRecord;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    return std::make_unique<PerBlockProcessor>(*this);
   }
 };
 
@@ -86,6 +107,16 @@ class ColCommand final : public Command {
       column = c == '\n' ? 0 : column + 1;
     }
     return {std::move(out), 0, {}};
+  }
+
+  // Byte-level with per-line state only: record-aligned blocks start right
+  // after a newline, where the column is 0 and a backspace has nothing to
+  // erase — exactly the whole-input state at that byte.
+  Streamability streamability() const override {
+    return Streamability::kPerRecord;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    return std::make_unique<PerBlockProcessor>(*this);
   }
 
  private:
@@ -207,6 +238,16 @@ class IconvTranslitCommand final : public Command {
     return {std::move(out), 0, {}};
   }
 
+  // Per-byte over UTF-8 sequences, which never contain '\n' (continuation
+  // bytes are 0x80..0xBF), so no sequence straddles a record-aligned block
+  // boundary and per-block runs compose.
+  Streamability streamability() const override {
+    return Streamability::kPerRecord;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override {
+    return std::make_unique<PerBlockProcessor>(*this);
+  }
+
  private:
   static std::string translit(unsigned cp) {
     struct Entry {
@@ -281,28 +322,20 @@ CommandPtr make_fmt(const Argv& argv, std::string* error) {
   std::size_t width = 75;
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
+    std::optional<std::size_t> w;
     if (a.rfind("-w", 0) == 0 && a.size() > 2) {
-      width = 0;
-      for (std::size_t j = 2; j < a.size(); ++j) {
-        if (!std::isdigit(static_cast<unsigned char>(a[j]))) {
-          if (error) *error = "fmt: bad width";
-          return nullptr;
-        }
-        width = width * 10 + static_cast<std::size_t>(a[j] - '0');
-      }
+      w = parse_size_count(std::string_view(a).substr(2));
     } else if (a == "-w" && i + 1 < argv.size()) {
-      width = 0;
-      for (char c : argv[++i]) {
-        if (!std::isdigit(static_cast<unsigned char>(c))) {
-          if (error) *error = "fmt: bad width";
-          return nullptr;
-        }
-        width = width * 10 + static_cast<std::size_t>(c - '0');
-      }
+      w = parse_size_count(argv[++i]);
     } else {
       if (error) *error = "fmt: unsupported flag " + a;
       return nullptr;
     }
+    if (!w) {
+      if (error) *error = "fmt: bad width";
+      return nullptr;
+    }
+    width = *w;
   }
   return std::make_shared<FmtCommand>(argv_to_display(argv), width);
 }

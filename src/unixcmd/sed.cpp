@@ -36,15 +36,14 @@ std::optional<std::vector<SedCommandSpec>> parse_script(
     if (i >= script.size()) break;
     SedCommandSpec spec{SedCommandSpec::Kind::kSubstitute, 0, std::nullopt,
                         "", false};
-    // Optional numeric or $ address.
+    // Optional numeric or $ address (saturating parse: an address past
+    // LONG_MAX acts as "beyond every line" instead of overflowing).
     if (std::isdigit(static_cast<unsigned char>(script[i]))) {
-      long addr = 0;
+      std::size_t start = i;
       while (i < script.size() &&
-             std::isdigit(static_cast<unsigned char>(script[i]))) {
-        addr = addr * 10 + (script[i] - '0');
+             std::isdigit(static_cast<unsigned char>(script[i])))
         ++i;
-      }
-      spec.address = addr;
+      spec.address = *parse_count(script.substr(start, i - start));
     } else if (script[i] == '$') {
       spec.address = -1;
       ++i;
@@ -117,53 +116,114 @@ std::optional<std::vector<SedCommandSpec>> parse_script(
   return cmds;
 }
 
+// Applies every spec to one line (1-based line_no; last_line is the final
+// line's number, or 0 when unknown — legal only for scripts without `$`
+// addresses). Returns false when the line is deleted; *quit is set when a
+// q command fires (the line itself still prints).
+bool apply_specs(const std::vector<SedCommandSpec>& cmds, std::string* line,
+                 long line_no, long last_line, bool* quit) {
+  for (const SedCommandSpec& spec : cmds) {
+    bool addressed = spec.address == 0 || spec.address == line_no ||
+                     (spec.address == -1 && line_no == last_line);
+    if (!addressed) continue;
+    switch (spec.kind) {
+      case SedCommandSpec::Kind::kSubstitute:
+        *line = spec.re->replace(*line, spec.replacement, spec.global);
+        break;
+      case SedCommandSpec::Kind::kDelete:
+        return false;
+      case SedCommandSpec::Kind::kQuit:
+        *quit = true;
+        break;
+    }
+  }
+  return true;
+}
+
+// Runs the script over the lines of `text`, appending kept lines to *out
+// and advancing the 1-based running counter *line_no. `whole_input`
+// resolves `$` addresses against text's own line count; false means the
+// last line's number is unknowable (streaming — the caller's
+// streamability contract excludes `$`). Every kept line re-terminates
+// except an unterminated final line of `text` (GNU sed preserves the
+// missing newline). Returns true once a q command fires. Both execute()
+// and the stream processor run through here, so batch and per-block
+// output cannot diverge.
+bool run_script(const std::vector<SedCommandSpec>& cmds,
+                std::string_view text, long* line_no, bool whole_input,
+                std::string* out) {
+  auto ls = text::lines(text);
+  const long last_line =
+      whole_input ? *line_no + static_cast<long>(ls.size()) : 0;
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    ++*line_no;
+    std::string current(ls[i]);
+    bool quit = false;
+    if (apply_specs(cmds, &current, *line_no, last_line, &quit)) {
+      *out += current;
+      if (i + 1 < ls.size() || text.ends_with('\n')) out->push_back('\n');
+    }
+    if (quit) return true;
+  }
+  return false;
+}
+
 class SedCommand final : public Command {
  public:
   SedCommand(std::string name, std::vector<SedCommandSpec> cmds)
-      : Command(std::move(name)), cmds_(std::move(cmds)) {}
+      : Command(std::move(name)), cmds_(std::move(cmds)) {
+    for (const SedCommandSpec& spec : cmds_) {
+      if (spec.address == -1) needs_last_line_ = true;
+      if (spec.kind == SedCommandSpec::Kind::kQuit) has_quit_ = true;
+    }
+  }
 
   Result execute(std::string_view input) const override {
-    auto ls = text::lines(input);
     std::string out;
     out.reserve(input.size());
     long line_no = 0;
-    for (std::string_view line : ls) {
-      ++line_no;
-      std::string current(line);
-      bool deleted = false;
-      bool quit = false;
-      for (const SedCommandSpec& spec : cmds_) {
-        bool addressed =
-            spec.address == 0 || spec.address == line_no ||
-            (spec.address == -1 &&
-             line_no == static_cast<long>(ls.size()));
-        if (!addressed) continue;
-        switch (spec.kind) {
-          case SedCommandSpec::Kind::kSubstitute:
-            current = spec.re->replace(current, spec.replacement,
-                                       spec.global);
-            break;
-          case SedCommandSpec::Kind::kDelete:
-            deleted = true;
-            break;
-          case SedCommandSpec::Kind::kQuit:
-            quit = true;
-            break;
-        }
-        if (deleted) break;
-      }
-      if (!deleted) {
-        out += current;
-        out.push_back('\n');
-      }
-      if (quit) break;
-    }
+    run_script(cmds_, input, &line_no, /*whole_input=*/true, &out);
     return {std::move(out), 0, {}};
   }
 
+  // Line-addressed scripts stream with a line counter as the only state;
+  // `Nq` is prefix-bounded (output complete once it fires); `$` needs the
+  // last line's number, which a streaming node cannot know.
+  Streamability streamability() const override {
+    if (needs_last_line_) return Streamability::kNone;
+    return has_quit_ ? Streamability::kPrefix : Streamability::kPerRecord;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override;
+
  private:
+  friend class SedStreamProcessor;
   std::vector<SedCommandSpec> cmds_;
+  bool needs_last_line_ = false;
+  bool has_quit_ = false;
 };
+
+class SedStreamProcessor final : public StreamProcessor {
+ public:
+  explicit SedStreamProcessor(const SedCommand& command)
+      : command_(command) {}
+
+  bool process(std::string_view block, std::string* out) override {
+    if (quit_) return false;
+    quit_ = run_script(command_.cmds_, block, &line_no_,
+                       /*whole_input=*/false, out);
+    return !quit_;
+  }
+
+ private:
+  const SedCommand& command_;
+  long line_no_ = 0;
+  bool quit_ = false;
+};
+
+std::unique_ptr<StreamProcessor> SedCommand::stream_processor() const {
+  if (needs_last_line_) return nullptr;
+  return std::make_unique<SedStreamProcessor>(*this);
+}
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 
 #include "text/streams.h"
 
@@ -144,15 +145,16 @@ std::optional<SortSpec> SortSpec::parse(const std::vector<std::string>& flags,
       SortKey key;
       std::size_t i = 2;
       auto read_int = [&](int& out) {
-        int v = 0;
-        bool any = false;
-        while (i < f.size() && std::isdigit(static_cast<unsigned char>(f[i]))) {
-          v = v * 10 + (f[i] - '0');
+        // Saturating: a field number past INT_MAX selects a field no line
+        // has (like GNU) instead of overflowing into a garbage index.
+        std::size_t start = i;
+        while (i < f.size() && std::isdigit(static_cast<unsigned char>(f[i])))
           ++i;
-          any = true;
-        }
-        if (any) out = v;
-        return any;
+        if (i == start) return false;
+        auto v = parse_count(std::string_view(f).substr(start, i - start));
+        out = static_cast<int>(
+            std::min<long>(*v, std::numeric_limits<int>::max()));
+        return true;
       };
       if (!read_int(key.start_field)) {
         if (error) *error = "sort: bad key spec " + f;

@@ -114,8 +114,31 @@ std::optional<ExpandedSet> expand_set(std::string_view spec,
               set.fill_pos = static_cast<int>(set.chars.size());
               set.fill_char = *c;
             } else {
-              long n = std::stol(std::string(digits),
-                                 nullptr, digits[0] == '0' ? 8 : 10);
+              // Checked repeat count (octal with a leading 0, else
+              // decimal): an overflowing std::stol would abort the
+              // process, and the eager expansion below cannot honor a
+              // multi-GiB repeat anyway, so counts past the cap (and
+              // digits invalid for the base) are rejected — truncating
+              // instead would silently re-pair every later SET1/SET2
+              // position.
+              constexpr unsigned long long kMaxRepeat = 1 << 20;
+              const unsigned long long base = digits[0] == '0' ? 8 : 10;
+              unsigned long long n = 0;
+              bool valid = true;
+              for (char dch : digits) {
+                const unsigned long long dv =
+                    static_cast<unsigned long long>(dch - '0');
+                if (dv >= base) {
+                  valid = false;
+                  break;
+                }
+                n = n * base + dv;
+                if (n > kMaxRepeat) break;  // rejected below; no overflow
+              }
+              if (!valid || n > kMaxRepeat) {
+                if (error) *error = "tr: invalid or too large repeat count";
+                return std::nullopt;
+              }
               set.chars.append(static_cast<std::size_t>(n), *c);
             }
             i = k + 1;
@@ -182,27 +205,52 @@ class TrCommand final : public Command {
         true;
   }
 
-  Result execute(std::string_view input) const override {
-    std::string out;
-    out.reserve(input.size());
-    int last_squeezed = -1;
+  // The byte-level transform; `last_squeezed` carries the squeeze run
+  // across calls so per-block streaming matches one whole-input pass even
+  // when a squeezed run straddles a block boundary.
+  void transform(std::string_view input, std::string* out,
+                 int* last_squeezed) const {
+    out->reserve(out->size() + input.size());
     for (char c : input) {
       unsigned char uc = static_cast<unsigned char>(c);
       if (delete_) {
         if (member1_[uc]) continue;
-        if (squeeze_ && squeeze_members_[uc] && last_squeezed == c) continue;
-        out.push_back(c);
-        last_squeezed = squeeze_members_[uc] ? c : -1;
+        if (squeeze_ && squeeze_members_[uc] && *last_squeezed == c) continue;
+        out->push_back(c);
+        *last_squeezed = squeeze_members_[uc] ? c : -1;
         continue;
       }
       char t = map_[uc];
       unsigned char ut = static_cast<unsigned char>(t);
-      if (squeeze_ && squeeze_members_[ut] && last_squeezed == t) continue;
-      out.push_back(t);
-      last_squeezed = squeeze_members_[ut] ? t : -1;
+      if (squeeze_ && squeeze_members_[ut] && *last_squeezed == t) continue;
+      out->push_back(t);
+      *last_squeezed = squeeze_members_[ut] ? t : -1;
     }
+  }
+
+  Result execute(std::string_view input) const override {
+    std::string out;
+    int last_squeezed = -1;
+    transform(input, &out, &last_squeezed);
     return {std::move(out), 0, {}};
   }
+
+  // Per-byte, but streamable only while record alignment survives: every
+  // downstream consumer (stream chains, parallel feeders, spill sorts)
+  // assumes mid-stream blocks end on a record boundary. A tr that deletes
+  // or translates away '\n' emits blocks that end mid-record — the exact
+  // case the batch path guards with outputs_newline_terminated — so it
+  // must materialize. Translating *into* '\n' or squeezing it is fine: the
+  // final byte of an aligned block stays '\n' (a squeeze can only drop a
+  // leading repeat, never the block's last newline).
+  Streamability streamability() const override {
+    const auto nl = static_cast<unsigned char>('\n');
+    const bool keeps_alignment =
+        delete_ ? !member1_[nl] : map_[nl] == '\n';
+    return keeps_alignment ? Streamability::kPerRecord
+                           : Streamability::kNone;
+  }
+  std::unique_ptr<StreamProcessor> stream_processor() const override;
 
  private:
   bool delete_;
@@ -211,6 +259,26 @@ class TrCommand final : public Command {
   std::array<bool, 256> squeeze_members_;
   std::array<char, 256> map_;
 };
+
+// tr is a per-byte map/filter; only the squeeze run survives a block
+// boundary, carried here as the processor's one int of state.
+class TrStreamProcessor final : public StreamProcessor {
+ public:
+  explicit TrStreamProcessor(const TrCommand& command) : command_(command) {}
+  bool process(std::string_view block, std::string* out) override {
+    command_.transform(block, out, &last_squeezed_);
+    return true;
+  }
+
+ private:
+  const TrCommand& command_;
+  int last_squeezed_ = -1;
+};
+
+std::unique_ptr<StreamProcessor> TrCommand::stream_processor() const {
+  if (streamability() == Streamability::kNone) return nullptr;
+  return std::make_unique<TrStreamProcessor>(*this);
+}
 
 }  // namespace
 

@@ -1,0 +1,151 @@
+// GNU-compat golden tests for `head`/`tail` edge forms — `tail +N`,
+// `-n +N`, count 0, counts larger than the input, missing trailing
+// newlines, and overflowing counts — each validated against GNU coreutils
+// output and executed through three runtimes: the batch staged runner, the
+// streaming dataflow runtime, and the streaming runtime with spilling
+// forced (threshold 1). Also pins the preserve-vs-re-terminate audit for
+// the other text::lines-based built-ins: sed/rev preserve a missing final
+// newline like their GNU counterparts, grep/cut/uniq re-terminate.
+//
+// Overflow counts saturate (ISSUE 3's "reject or clamp": we clamp), so
+// `head -n 99999999999999999999` means "all of it" instead of
+// signed-overflow garbage; GNU rejects counts past uintmax_t with an
+// error, and below that accepts them with the same all-of-it meaning.
+
+#include <gtest/gtest.h>
+
+#include "compile/plan.h"
+#include "exec/runner.h"
+#include "exec/thread_pool.h"
+#include "stream/dataflow.h"
+#include "unixcmd/registry.h"
+
+namespace kq {
+namespace {
+
+struct GoldenCase {
+  const char* command;
+  const char* input;
+  const char* expected;  // GNU-verified bytes
+};
+
+// Mirrors compile::lower_plan's streamability classification for a
+// hand-built sequential stage, so the streaming run exercises the
+// stream-chain node exactly as a compiled pipeline would.
+exec::ExecStage make_stage(const cmd::CommandPtr& command) {
+  exec::ExecStage stage;
+  stage.command = command;
+  if (command->streamability() != cmd::Streamability::kNone)
+    stage.memory_class = exec::MemoryClass::kStatelessStream;
+  return stage;
+}
+
+class HeadTailGolden : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(HeadTailGolden, BatchStreamAndSpillAgree) {
+  const GoldenCase& c = GetParam();
+  std::string error;
+  cmd::CommandPtr command = cmd::make_command_line(c.command, &error);
+  ASSERT_NE(command, nullptr) << c.command << ": " << error;
+
+  // Direct execution (the batch runner's sequential floor).
+  EXPECT_EQ(command->run(c.input), c.expected) << c.command;
+
+  std::vector<exec::ExecStage> stages{make_stage(command)};
+  exec::ThreadPool pool(2);
+  EXPECT_EQ(exec::run_serial(stages, c.input).output, c.expected)
+      << c.command << " (serial)";
+
+  for (std::size_t spill : {std::size_t(64) << 20, std::size_t(1)}) {
+    for (std::size_t block : {std::size_t(4), std::size_t(1) << 20}) {
+      stream::StreamConfig config;
+      config.parallelism = 2;
+      config.block_size = block;
+      config.spill_threshold = spill;
+      std::string output;
+      stream::StreamResult r = stream::run_streaming_string(
+          stages, c.input, &output, pool, config);
+      ASSERT_TRUE(r.ok) << c.command << ": " << r.error;
+      EXPECT_EQ(output, c.expected)
+          << c.command << " (stream, block=" << block << ", spill=" << spill
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeForms, HeadTailGolden,
+    ::testing::Values(
+        // Count 0 and counts larger than the input.
+        GoldenCase{"head -n 0", "a\nb\nc\n", ""},
+        GoldenCase{"head -n 10", "a\nb\n", "a\nb\n"},
+        GoldenCase{"tail -n 0", "a\nb\nc\n", ""},
+        GoldenCase{"tail -n 10", "a\nb\n", "a\nb\n"},
+        // Missing trailing newline is preserved (GNU head/tail copy bytes).
+        GoldenCase{"head -n 2", "a\nb", "a\nb"},
+        GoldenCase{"head -n 1", "a\nb", "a\n"},
+        GoldenCase{"tail -n 1", "a\nb", "b"},
+        GoldenCase{"tail -n 2", "a\nb\nc", "b\nc"},
+        // tail +N / -n +N forms, including the +0 == +1 GNU quirk.
+        GoldenCase{"tail +2", "a\nb\nc\n", "b\nc\n"},
+        GoldenCase{"tail -n +2", "a\nb\nc\n", "b\nc\n"},
+        GoldenCase{"tail -n +1", "a\nb\nc\n", "a\nb\nc\n"},
+        GoldenCase{"tail -n +0", "a\nb\nc\n", "a\nb\nc\n"},
+        GoldenCase{"tail +4", "a\nb\nc\n", ""},
+        GoldenCase{"tail -n +3", "a\nb\nc", "c"},
+        // Overflowing counts saturate to "all of it" / "skip everything".
+        GoldenCase{"head -n 99999999999999999999", "a\nb\nc\n", "a\nb\nc\n"},
+        GoldenCase{"tail -n 99999999999999999999", "a\nb", "a\nb"},
+        GoldenCase{"tail -n +99999999999999999999", "a\nb\nc\n", ""},
+        GoldenCase{"head -99999999999999999999", "a\nb", "a\nb"},
+        // The re-terminate audit: sed and rev preserve like GNU...
+        GoldenCase{"sed s/b/B/", "a\nb", "a\nB"},
+        GoldenCase{"sed 2q", "a\nb\nc\n", "a\nb\n"},
+        GoldenCase{"sed 2q", "a\nb", "a\nb"},
+        GoldenCase{"sed 2d;3q", "a\nb\nc\n", "a\nc\n"},
+        GoldenCase{"rev", "ab\ncd", "ba\ndc"},
+        // ...while grep, cut, and uniq re-terminate, also like GNU.
+        GoldenCase{"grep b", "a\nb", "b\n"},
+        GoldenCase{"cut -c 1", "ax\nby", "a\nb\n"},
+        GoldenCase{"uniq", "a\na\nb", "a\nb\n"},
+        // Degenerate inputs.
+        GoldenCase{"head -n 2", "", ""}, GoldenCase{"tail -n 2", "", ""},
+        GoldenCase{"head -n 1", "\n\n", "\n"},
+        GoldenCase{"tail +2", "", ""}));
+
+TEST(HeadTailParse, RejectsNonNumericCounts) {
+  for (const char* line :
+       {"head -n 9a9", "head -n", "tail -n x", "tail +2x", "head -n -3"}) {
+    std::string error;
+    EXPECT_EQ(cmd::make_command_line(line, &error), nullptr) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(HeadTailParse, SaturatedCountsInOtherBuiltins) {
+  // The same clamp guards every count-parsing built-in: sort -k field
+  // numbers, cut position ranges, sed addresses, fmt widths.
+  std::string error;
+  auto sort_cmd =
+      cmd::make_command_line("sort -k99999999999999999999", &error);
+  ASSERT_NE(sort_cmd, nullptr) << error;
+  // A field number no line has: comparison falls back to the whole line.
+  EXPECT_EQ(sort_cmd->run("b x\na y\n"), "a y\nb x\n");
+
+  auto cut_cmd =
+      cmd::make_command_line("cut -c 99999999999999999999-", &error);
+  ASSERT_NE(cut_cmd, nullptr) << error;
+  EXPECT_EQ(cut_cmd->run("abc\n"), "\n");  // selects nothing on every line
+
+  auto sed_cmd =
+      cmd::make_command_line("sed 99999999999999999999d", &error);
+  ASSERT_NE(sed_cmd, nullptr) << error;
+  EXPECT_EQ(sed_cmd->run("a\nb\n"), "a\nb\n");  // address beyond every line
+
+  auto fmt_cmd = cmd::make_command_line("fmt -w99999999999999999999", &error);
+  ASSERT_NE(fmt_cmd, nullptr) << error;
+  EXPECT_EQ(fmt_cmd->run("a b\n"), "a b\n");
+}
+
+}  // namespace
+}  // namespace kq

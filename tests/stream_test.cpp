@@ -207,6 +207,39 @@ TEST(Semaphore, CancelUnblocksWaiter) {
   waiter.join();
 }
 
+TEST(Channel, CloseReadFailsProducerAndDiscardsPending) {
+  MemoryGauge gauge;
+  Channel ch(2, &gauge);
+  ASSERT_TRUE(ch.push({0, "pending"}));
+  EXPECT_FALSE(ch.read_closed());
+  ch.close_read();
+  EXPECT_TRUE(ch.read_closed());
+  EXPECT_FALSE(ch.push({1, "late"}));   // producer learns downstream is done
+  EXPECT_EQ(ch.pop(), std::nullopt);    // pending chunk was discarded
+  EXPECT_EQ(gauge.current(), 0u);       // and its bytes released
+}
+
+TEST(Channel, CloseReadWakesBlockedProducer) {
+  Channel ch(1);
+  ASSERT_TRUE(ch.push({0, "fill"}));
+  std::thread producer([&] { EXPECT_FALSE(ch.push({1, "blocked"})); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close_read();
+  producer.join();
+}
+
+TEST(BufferPool, RecyclesAllocations) {
+  BufferPool pool(2);
+  std::string a = pool.acquire();
+  a = "some contents that force an allocation";
+  const char* data = a.data();
+  pool.release(std::move(a));
+  std::string b = pool.acquire();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), data);  // same allocation came back
+  EXPECT_TRUE(pool.acquire().empty());  // pool drained: fresh string
+}
+
 // ------------------------------------------------------------- dataflow --
 
 // The exec_test word-count stages: tr A-Z a-z | sort | uniq -c with
@@ -464,6 +497,199 @@ TEST(Dataflow, SinkEarlyStopIsCleanNotAnError) {
   EXPECT_GE(deliveries, 2);
 }
 
+// ------------------------------------------- per-block stream chains --
+
+// A sequential streamable stage, classified as compile::lower_plan would.
+exec::ExecStage streamable_stage(const char* command_line) {
+  exec::ExecStage s;
+  s.command = cmd::make_command_line(command_line);
+  EXPECT_NE(s.command, nullptr) << command_line;
+  EXPECT_NE(s.command->streamability(), cmd::Streamability::kNone)
+      << command_line;
+  s.memory_class = exec::MemoryClass::kStatelessStream;
+  return s;
+}
+
+TEST(StreamChain, FusesAdjacentStreamableStagesIntoOneNode) {
+  std::vector<exec::ExecStage> stages;
+  stages.push_back(streamable_stage("grep a"));
+  stages.push_back(streamable_stage("tr a-z A-Z"));
+  stages.push_back(streamable_stage("cut -c 1-4"));
+  std::string input;
+  for (int i = 0; i < 3000; ++i)
+    input += (i % 3 ? "alpha beta\n" : "omega\n");
+
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 128;
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  // One channel hop for the whole chain, not three.
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_TRUE(r.nodes[0].per_block);
+  EXPECT_FALSE(r.nodes[0].parallel);
+  EXPECT_EQ(r.nodes[0].commands, "grep a | tr a-z A-Z | cut -c 1-4");
+  EXPECT_GT(r.nodes[0].chunks, 1);
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+}
+
+TEST(StreamChain, StatefulProcessorsMatchWholeInputAcrossBlockSizes) {
+  // tr -s '\n' (squeeze state crosses block boundaries), sed with line
+  // addresses (global line counter), tail +N (skip counter): per-block
+  // streaming must be byte-identical to one whole-input execution.
+  for (const char* line :
+       {"tr -s x", "sed 3d", "tail +5", "sed s/a/A/g"}) {
+    std::vector<exec::ExecStage> stages;
+    stages.push_back(streamable_stage(line));
+    std::string input;
+    for (int i = 0; i < 200; ++i)
+      input += i % 7 ? "axxa\n" : "xxxx\n";
+    input += "tailxx";  // no trailing newline
+    exec::ThreadPool pool(2);
+    std::string expect = exec::run_serial(stages, input).output;
+    for (std::size_t block : {std::size_t(1), std::size_t(5),
+                              std::size_t(64), std::size_t(1) << 20}) {
+      StreamConfig config;
+      config.parallelism = 2;
+      config.block_size = block;
+      std::string output;
+      StreamResult r =
+          run_streaming_string(stages, input, &output, pool, config);
+      ASSERT_TRUE(r.ok) << line << ": " << r.error;
+      EXPECT_EQ(output, expect) << line << " block=" << block;
+    }
+  }
+}
+
+TEST(StreamChain, PrefixEarlyExitStopsTheReader) {
+  // head -n 3 over a large input must finish after O(blocks), not drain
+  // the stream: the prefix processor reports done, the node cancels
+  // upstream, and the BlockReader is never asked for the rest.
+  std::vector<exec::ExecStage> stages;
+  stages.push_back(streamable_stage("head -n 3"));
+  std::string input;
+  for (int i = 0; i < 200000; ++i) input += "abcdefghijklmnop\n";  // ~3.4 MB
+
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 4096;
+  std::istringstream in(input);
+  std::string output;
+  Sink sink = [&output](std::string_view bytes) {
+    output.append(bytes);
+    return true;
+  };
+  StreamResult r = run_streaming(stages, in, sink, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.stopped_early);  // the *output* is complete, not truncated
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  EXPECT_LT(r.bytes_read, 8 * config.block_size) << "reader kept draining";
+}
+
+TEST(StreamChain, PrefixEarlyExitCancelsParallelUpstream) {
+  // tr runs as a parallel concat segment; head's close must propagate back
+  // through the channel so the feeder (and reader) stop — and the clean
+  // early exit must not read as a combine failure or batch fallback.
+  std::vector<exec::ExecStage> stages;
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("tr a-z A-Z");
+    s.parallel = true;
+    s.concat_combiner = true;
+    s.combiner_name = "(concat a b)";
+    s.combine = [](const std::vector<std::string>& parts)
+        -> std::optional<std::string> {
+      std::string out;
+      for (const auto& p : parts) out += p;
+      return out;
+    };
+    stages.push_back(std::move(s));
+  }
+  stages.push_back(streamable_stage("head -n 5"));
+
+  std::string input;
+  for (int i = 0; i < 200000; ++i) input += "abcdefghijklmnop\n";
+
+  exec::ThreadPool pool(4);
+  StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 4096;
+  config.max_inflight = 8;
+  std::istringstream in(input);
+  std::string output;
+  Sink sink = [&output](std::string_view bytes) {
+    output.append(bytes);
+    return true;
+  };
+  StreamResult r = run_streaming(stages, in, sink, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.stopped_early);
+  EXPECT_FALSE(r.combine_undefined);
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  // The feeder may have a few blocks in flight when the close lands, but
+  // the reader must stop long before the ~3.4 MB input is drained.
+  EXPECT_LT(r.bytes_read, input.size() / 4) << "close did not propagate";
+}
+
+TEST(StreamChain, DownstreamCloseStopsMaterializeEmission) {
+  // awk runs as a sequential materialize stage whose output spans many
+  // blocks; head closes after the first, and the failed push must read as
+  // a clean early exit (stop emitting), not an error or a spurious
+  // combine-undefined.
+  std::vector<exec::ExecStage> stages;
+  {
+    exec::ExecStage s;  // kNone: must materialize
+    s.command = cmd::make_command_line("awk '{print $1}'");
+    ASSERT_NE(s.command, nullptr);
+    stages.push_back(std::move(s));
+  }
+  stages.push_back(streamable_stage("head -n 1"));
+  std::string input;
+  for (int i = 0; i < 20000; ++i) input += "word another third\n";
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 256;  // awk's output re-blocks into ~400 pushes
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.stopped_early);
+  EXPECT_FALSE(r.batch_fallback);
+  EXPECT_EQ(output, "word\n");
+}
+
+TEST(StreamChain, PrefixAfterExternalSortStopsMergeCleanly) {
+  // A forced-spill external sort feeding head: head closes mid-merge, so
+  // the sorter's push fails — a clean stop, not "external sort failed".
+  std::vector<exec::ExecStage> stages;
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("sort");
+    ASSERT_NE(s.command, nullptr);
+    s.memory_class = exec::MemoryClass::kSortableSpill;
+    s.sort_spec = cmd::sort_spec_of(*s.command);
+    ASSERT_NE(s.sort_spec, nullptr);
+    stages.push_back(std::move(s));
+  }
+  stages.push_back(streamable_stage("head -n 5"));
+  std::string input;
+  for (int i = 20000; i > 0; --i)
+    input += "key" + std::to_string(i) + "\n";
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 512;
+  config.spill_threshold = 4096;  // force sorted runs onto disk
+  std::string output;
+  StreamResult r = run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.spilled_bytes, 0u);
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+}
+
 TEST(Dataflow, IstreamToOstream) {
   auto stages = word_count_stages();
   std::string input = sample_words();
@@ -523,6 +749,25 @@ TEST_P(StreamCatalogCrossval, StreamMatchesBatch) {
         << pipeline << ": incremental combine bailed: " << r.error;
     EXPECT_EQ(streamed, batch)
         << script.suite << "/" << script.name << ": " << pipeline;
+
+    // Forced-sequential lowering: every streamable stage becomes part of a
+    // fused per-block stream chain (kStatelessStream), which must stay
+    // byte-identical to the batch output too.
+    compile::Plan seq_plan =
+        compile::compile_pipeline(*parsed, cache(), {}, &fs());
+    for (auto& stage : seq_plan.stages) stage.parallel = false;
+    auto seq_stages = compile::lower_plan(seq_plan);
+    bool fused = false;
+    for (const auto& stage : seq_stages)
+      if (stage.memory_class == exec::MemoryClass::kStatelessStream)
+        fused = true;
+    std::string seq_streamed;
+    StreamResult seq_r =
+        run_streaming_string(seq_stages, input, &seq_streamed, pool, config);
+    EXPECT_TRUE(seq_r.ok) << pipeline << " (sequential): " << seq_r.error;
+    EXPECT_EQ(seq_streamed, batch)
+        << script.suite << "/" << script.name << " (sequential"
+        << (fused ? ", stream-chain" : "") << "): " << pipeline;
   }
 }
 
