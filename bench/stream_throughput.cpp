@@ -3,6 +3,17 @@
 //
 //   ./build/bench/stream_throughput [--mb=N] [--block-kb=N] [--k=N]
 //                                   [--spill-mb=N] [--no-speed-check]
+//                                   [--no-memory-check] [--json=PATH]
+//
+// --no-memory-check skips the RSS verdicts (the input-relative bound and
+// the absolute 16 MiB window gate) for sanitizer builds, where shadow
+// memory and redzones make absolute RSS meaningless; the output checks
+// still run.
+//
+// --json writes a machine-readable artifact (one record per streaming
+// scenario: wall seconds, RSS growth, bytes read) that CI's bench-gate job
+// diffs against the checked-in baselines in bench/baselines/ — see
+// bench/check_bench_gate.py.
 //
 // Defaults: 256 MiB input, 1 MiB blocks, k=4, spill threshold
 // max(8 MiB, input/8) — the input is ~10x the streaming block budget
@@ -53,6 +64,15 @@ std::size_t arg_value(int argc, char** argv, const char* name,
     }
   }
   return fallback;
+}
+
+std::string arg_string(int argc, char** argv, const char* name) {
+  std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=')
+      return std::string(argv[i] + len + 1);
+  }
+  return {};
 }
 
 // VmHWM (peak resident set) in bytes from /proc/self/status; 0 if absent.
@@ -227,6 +247,27 @@ double mib_per_s(std::size_t bytes, double seconds) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
 }
 
+// One bench-gate scenario: a streaming measurement under a stable name,
+// serialized to the --json artifact for CI's regression diff.
+struct GateRecord {
+  std::string name;
+  Measurement m;
+};
+
+void write_json(const std::string& path, std::size_t input_mb,
+                const std::vector<GateRecord>& records) {
+  std::ofstream out(path);
+  out << "{\n  \"input_mb\": " << input_mb << ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const GateRecord& r = records[i];
+    out << "    {\"name\": \"" << r.name << "\", \"wall_s\": " << r.m.seconds
+        << ", \"rss_growth_bytes\": " << r.m.rss_growth
+        << ", \"bytes_read\": " << r.m.bytes_read << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 bool has_flag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
@@ -242,6 +283,9 @@ int main(int argc, char** argv) {
   std::size_t spill_mb =
       arg_value(argc, argv, "--spill-mb", std::max<std::size_t>(8, input_mb / 8));
   const bool speed_check = !has_flag(argc, argv, "--no-speed-check");
+  const bool memory_check = !has_flag(argc, argv, "--no-memory-check");
+  const std::string json_path = arg_string(argc, argv, "--json");
+  std::vector<GateRecord> gate_records;
   std::size_t input_bytes = input_mb << 20;
 
   stream::StreamConfig config;
@@ -289,7 +333,7 @@ int main(int argc, char** argv) {
   // stacks, allocator slack) — the full-size run, not the CI smoke
   // configuration.
   const bool enforce_bounded =
-      input_bytes >= 10 * budget && input_mb >= 64;
+      memory_check && input_bytes >= 10 * budget && input_mb >= 64;
 
   std::vector<Compiled> compiled_pipelines;
   for (const BenchPipeline& pipeline : kPipelines)
@@ -309,6 +353,7 @@ int main(int argc, char** argv) {
               << (s.rss_growth >> 20) << " MiB, peak in-flight "
               << (s.peak_inflight >> 10) << " KiB, spilled "
               << (s.spilled >> 20) << " MiB\n";
+    gate_records.push_back({std::string("stream:") + pipeline.cmd, s});
 
     Measurement b =
         run_isolated([&] { return run_batch_file(compiled, path, k); });
@@ -382,6 +427,59 @@ int main(int argc, char** argv) {
       all_faster = false;
     if (enforce_bounded && chain_m.rss_growth > input_bytes / 2)
       bounded = false;
+    gate_records.push_back({std::string("chain:") + kChain, chain_m});
+  }
+
+  // Window-bounded streaming: tail -n N holds a ring of N records, uniq one
+  // run, wc a few counters — lowered sequentially these run as
+  // kWindowStream nodes, so RSS growth must stay O(MiB) regardless of input
+  // size (the pre-window runtime materialized each stage's whole input:
+  // O(input) RSS). The gate is absolute — under 16 MiB of growth — and
+  // applies at smoke size already, since the window does not scale with the
+  // input.
+  bool window_bounded = true;
+  {
+    const char* kWindowPipelines[] = {"tail -n 10", "uniq | wc -l"};
+    for (const char* wcmd : kWindowPipelines) {
+      Compiled win = compile_one(wcmd, cache);
+      for (auto& stage : win.plan.stages) stage.parallel = false;
+      win.stages = compile::lower_plan(win.plan);
+      bool windowed = false;
+      for (const auto& stage : win.stages)
+        if (stage.memory_class == exec::MemoryClass::kWindowStream)
+          windowed = true;
+      std::cout << "\nwindow pipeline: " << wcmd
+                << (windowed ? "" : "  (ERROR: not window-lowered)") << "\n";
+      if (!windowed) all_ok = false;
+
+      // Sequential lowering runs at k=1: size the channel/pool budgets for
+      // one worker (a k=4 config would give these single-threaded nodes a
+      // 10-block channel budget and mask the window's own footprint).
+      stream::StreamConfig wconfig = config;
+      wconfig.parallelism = 1;
+      Measurement w = run_isolated(
+          [&] { return run_streaming_file(win, path, 1, wconfig); });
+      std::cout << "  window-stream: " << w.seconds << " s, "
+                << mib_per_s(input_bytes, w.seconds) << " MiB/s, RSS growth "
+                << (w.rss_growth >> 20) << " MiB (gate < 16 MiB)\n";
+      Measurement b =
+          run_isolated([&] { return run_batch_file(win, path, 1); });
+      std::cout << "  batch:         " << b.seconds << " s, RSS growth "
+                << (b.rss_growth >> 20) << " MiB\n";
+      if (!w.ok || !b.ok) all_ok = false;
+      if (w.out_bytes != b.out_bytes) {
+        std::cout << "  ERROR: output size mismatch (window " << w.out_bytes
+                  << " vs batch " << b.out_bytes << ")\n";
+        all_ok = false;
+      }
+      if (memory_check && !fork_fallback_used &&
+          w.rss_growth > (std::size_t(16) << 20)) {
+        std::cout << "  ERROR: window RSS growth exceeds 16 MiB — the "
+                     "window is not bounded\n";
+        window_bounded = false;
+      }
+      gate_records.push_back({std::string("window:") + wcmd, w});
+    }
   }
 
   // Prefix early-exit: head -n 10 must cancel the upstream reader after
@@ -400,6 +498,13 @@ int main(int argc, char** argv) {
                    "cancellation is not propagating\n";
       all_ok = false;
     }
+    gate_records.push_back({"early-exit:head -n 10", h});
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, input_mb, gate_records);
+    std::cout << "\nwrote " << gate_records.size() << " scenarios to "
+              << json_path << "\n";
   }
 
   std::cout << "\nverdict: streaming "
@@ -415,9 +520,14 @@ int main(int argc, char** argv) {
                            ? "verdict skipped (input too small to dominate "
                              "fixed overheads; run with --mb=256)"
                            : (bounded ? "bounded" : "NOT bounded")))
+            << "; window "
+            << (fork_fallback_used || !memory_check
+                    ? "verdict skipped"
+                    : (window_bounded ? "bounded (< 16 MiB)"
+                                      : "NOT bounded"))
             << "\n";
   std::remove(path.c_str());
-  if (fork_fallback_used) bounded = true;  // readings unreliable: no gate
+  if (fork_fallback_used) bounded = window_bounded = true;  // unreliable
   if (!all_ok) std::cout << "verdict: FAILED (run or output error above)\n";
-  return (all_ok && all_faster && bounded) ? 0 : 1;
+  return (all_ok && all_faster && bounded && window_bounded) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 // which is the point of the paper.
 
 #include <malloc.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <cstring>
@@ -107,7 +108,11 @@ int cmd_compile(const std::string& pipeline) {
   std::cout << "plan: " << compiled->plan.parallelized() << "/"
             << compiled->plan.total() << " stages parallel, "
             << compiled->plan.eliminated() << " combiner(s) eliminated\n";
-  for (const auto& stage : compiled->plan.stages) {
+  for (std::size_t i = 0; i < compiled->plan.stages.size(); ++i) {
+    const auto& stage = compiled->plan.stages[i];
+    // lower_plan produces one ExecStage per planned stage, so the memory
+    // class (how the streaming runtime bounds this stage) indexes 1:1.
+    const exec::ExecStage& lowered = compiled->stages[i];
     std::cout << "  " << stage.parsed.display << "\n    combiner: "
               << (stage.synthesis && stage.synthesis->success
                       ? stage.synthesis->combiner.to_string()
@@ -119,7 +124,8 @@ int cmd_compile(const std::string& pipeline) {
                              : "sequential")
                       : (stage.eliminate ? "parallel (combiner eliminated)"
                                          : "parallel"))
-              << "\n";
+              << "\n    memory:   "
+              << exec::memory_class_name(lowered.memory_class) << "\n";
   }
   return 0;
 }
@@ -150,8 +156,11 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
     config.use_elimination = optimize;
     config.spill_threshold = spill_threshold;
     config.delimiter = delimiter;
-    stream::StreamResult result = stream::run_streaming(
-        compiled->stages, std::cin, std::cout, pool, config);
+    // Read stdin by fd, not istream: the fd source is poll(2)-driven, so
+    // an early exit (a satisfied `head`) wakes a read blocked on an idle
+    // pipe promptly instead of at the next block boundary.
+    stream::StreamResult result = stream::run_streaming_fd(
+        compiled->stages, STDIN_FILENO, std::cout, pool, config);
     std::cout.flush();
     if (!result.ok) {
       std::cerr << "kumquat: streaming run failed: " << result.error

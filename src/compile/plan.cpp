@@ -94,10 +94,15 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
     // upstream cancellation beat data parallelism on a command whose output
     // is a bounded prefix) and any per-record stage the plan left
     // sequential (synthesis failed, rerun does not reduce, or k = 1). A
-    // parallel merge-combined stage spills its sorted chunk outputs as runs
-    // (comparator = the combiner's merge spec); a sequential built-in sort
-    // externalizes with its own spec; parallel concat/fold stages are
-    // bounded already; everything else must materialize.
+    // sequential window-bounded stage (tail -n N, uniq, wc, sort -u) runs
+    // as the window-terminated tail of a stream chain, holding O(window)
+    // instead of materializing; a sort -u window additionally carries the
+    // command's own comparator so an outsized distinct set can spill as
+    // sorted runs. A parallel merge-combined stage spills its sorted chunk
+    // outputs as runs (comparator = the combiner's merge spec); a
+    // sequential built-in sort externalizes with its own spec; parallel
+    // concat/fold stages are bounded already; everything else must
+    // materialize.
     const dsl::Combiner* primary =
         p.synthesis && p.synthesis->success ? p.synthesis->combiner.primary()
                                             : nullptr;
@@ -107,6 +112,9 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
     if (streamable == cmd::Streamability::kPrefix ||
         (streamable == cmd::Streamability::kPerRecord && !stage.parallel)) {
       stage.memory_class = exec::MemoryClass::kStatelessStream;
+    } else if (streamable == cmd::Streamability::kWindow && !stage.parallel) {
+      stage.memory_class = exec::MemoryClass::kWindowStream;
+      stage.sort_spec = cmd::sort_spec_of(*p.command);  // null unless sort -u
     } else if (stage.parallel && primary &&
                primary->node->op == dsl::Op::kMerge && primary->merge_spec) {
       stage.memory_class = exec::MemoryClass::kSortableSpill;

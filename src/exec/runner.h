@@ -47,7 +47,29 @@ enum class MemoryClass {
   // Assigned to sequential per-record stages and to every prefix-bounded
   // stage (where early exit beats data parallelism).
   kStatelessStream,
+  // Declared window-bounded (cmd::Streamability::kWindow): the command
+  // needs the whole input but holds only a bounded window of state — tail
+  // -n N its ring of N records, uniq its current run, wc its counters,
+  // sort -u its distinct set — absorbed per block through a
+  // cmd::WindowProcessor and flushed at end of input via finish(). Runs as
+  // the *terminal* stage of a fused stream chain (finish() reorders
+  // emission, so nothing fuses after it); a sort -u window that outgrows
+  // the spill threshold exports sorted runs to disk (sort_spec carries the
+  // comparator). Assigned to sequential kWindow stages.
+  kWindowStream,
 };
+
+// Human-readable memory-class names for plan reports and diagnostics.
+inline const char* memory_class_name(MemoryClass m) {
+  switch (m) {
+    case MemoryClass::kStreaming: return "streaming";
+    case MemoryClass::kSortableSpill: return "sortable-spill";
+    case MemoryClass::kMaterialize: return "materialize";
+    case MemoryClass::kStatelessStream: return "stateless-stream";
+    case MemoryClass::kWindowStream: return "window-stream";
+  }
+  return "?";
+}
 
 struct ExecStage {
   cmd::CommandPtr command;

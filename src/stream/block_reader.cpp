@@ -1,5 +1,6 @@
 #include "stream/block_reader.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -24,12 +25,43 @@ BlockReader::ReadFn stream_source(std::istream& in,
   };
 }
 
-BlockReader::ReadFn fd_source(int fd, std::shared_ptr<int> error) {
-  return [fd, error = std::move(error)](char* buf,
-                                        std::size_t n) -> std::size_t {
+// Poll interval for the fd source's cancellation check: short enough that
+// a cancelled reader blocked on an idle pipe wakes promptly, long enough
+// that an active stream pays one cheap always-ready poll per read.
+constexpr int kCancelPollMs = 50;
+
+BlockReader::ReadFn fd_source(int fd, std::shared_ptr<int> error,
+                              std::shared_ptr<std::atomic<bool>> cancel,
+                              std::shared_ptr<std::atomic<bool>> idle) {
+  return [fd, error = std::move(error), cancel = std::move(cancel),
+          idle = std::move(idle)](char* buf, std::size_t n) -> std::size_t {
     while (true) {
+      if (cancel->load()) return 0;  // clean consumer-side stop, not error
+      // Wait for readability with a timeout instead of blocking in
+      // read(2): a cancel() while the producer pipe is idle is noticed at
+      // the next poll tick, not at the next (possibly never-arriving)
+      // block boundary. Regular files are always readable, so the poll is
+      // one cheap syscall on the non-pipe path.
+      struct pollfd pfd{fd, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, kCancelPollMs);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        *error = errno;
+        return 0;
+      }
+      if (ready == 0) continue;  // timeout: recheck cancellation
       ssize_t got = ::read(fd, buf, n);
-      if (got >= 0) return static_cast<std::size_t>(got);
+      if (got > 0) {
+        // Source gone idle? (zero-timeout poll after a successful read).
+        // A pipe read returns at most the pipe capacity (~64 KiB), so a
+        // short read alone cannot distinguish "producer is saturating the
+        // pipe" (keep batching toward a full block) from "producer went
+        // quiet" (flush what we have — see BlockReader::next).
+        pfd.revents = 0;
+        idle->store(::poll(&pfd, 1, 0) == 0);
+        return static_cast<std::size_t>(got);
+      }
+      if (got == 0) return 0;
       if (errno != EINTR) {  // hard error: flag it, end the stream
         *error = errno;
         return 0;
@@ -44,12 +76,17 @@ BlockReader::BlockReader(std::istream& in, BlockReaderOptions options)
     : read_(stream_source(in, error_)), options_(sanitize(options)) {}
 
 BlockReader::BlockReader(int fd, BlockReaderOptions options)
-    : read_(fd_source(fd, error_)), options_(sanitize(options)) {}
+    : read_(fd_source(fd, error_, cancel_, idle_)),
+      options_(sanitize(options)) {}
 
 BlockReader::BlockReader(ReadFn read, BlockReaderOptions options)
     : read_(std::move(read)), options_(sanitize(options)) {}
 
 void BlockReader::fill() {
+  if (cancel_->load()) {  // istream/callback sources: noticed between fills
+    eof_ = true;
+    return;
+  }
   std::size_t old = pending_.size();
   pending_.resize(old + options_.block_size);
   std::size_t got = read_(pending_.data() + old, options_.block_size);
@@ -58,7 +95,27 @@ void BlockReader::fill() {
 }
 
 std::optional<std::string> BlockReader::next() {
-  while (!eof_ && pending_.size() < options_.block_size) fill();
+  while (!eof_ && pending_.size() < options_.block_size) {
+    // An idle source (the fd path's zero-timeout poll after the last read:
+    // a pipe between bursts, never a regular file) has no more bytes
+    // *right now*. Waiting for a full block would hold already-read
+    // records hostage to a producer that may stay idle indefinitely
+    // (`seq 20 | head -n 5` through a still-open pipe), so deliver the
+    // complete records on hand and leave the partial tail pending. The
+    // check runs *before* fill() blocks: a burst that overshot the block
+    // boundary leaves complete records in pending_ across next() calls,
+    // and those must flush without waiting for the producer's next write.
+    // `flush_scan_` remembers how far previous idle checks got, keeping
+    // the delimiter scan linear when an idle producer dribbles a long
+    // delimiter-free record.
+    if (idle_->load()) {
+      if (pending_.find(options_.delimiter, flush_scan_) !=
+          std::string::npos)
+        break;
+      flush_scan_ = pending_.size();
+    }
+    fill();
+  }
   if (pending_.empty()) return std::nullopt;
 
   std::size_t cut;
@@ -97,6 +154,7 @@ std::optional<std::string> BlockReader::next() {
 
   std::string block = pending_.substr(0, cut);
   pending_.erase(0, cut);
+  flush_scan_ = 0;  // pending_ shifted: stale idle-scan offset
   bytes_delivered_ += block.size();
   return block;
 }

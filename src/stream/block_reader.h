@@ -16,6 +16,7 @@
 // block.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
@@ -59,14 +60,34 @@ class BlockReader {
   // prefix, not the whole input. 0 means clean end of input.
   int error() const { return *error_; }
 
+  // Asks the reader to stop: the next fill ends the stream as a clean EOF
+  // (cancellation is a consumer-side "no more input needed", not an
+  // error). Safe to call from any thread. The fd source polls with a
+  // short timeout between reads, so a reader blocked in a long read(2) on
+  // an idle pipe wakes within ~one poll interval instead of at the next
+  // block boundary; the istream and callback sources notice between
+  // fills (an istream read cannot be interrupted portably).
+  void cancel() { cancel_->store(true); }
+  bool cancelled() const { return cancel_->load(); }
+
  private:
   void fill();  // pulls one more block-sized slab into pending_
 
   std::shared_ptr<int> error_ = std::make_shared<int>(0);
+  std::shared_ptr<std::atomic<bool>> cancel_ =
+      std::make_shared<std::atomic<bool>>(false);
+  // Set by the fd source when a zero-timeout poll after a read finds no
+  // more data immediately available (a pipe between bursts): next() then
+  // flushes the complete records on hand instead of waiting for a full
+  // block. Always false for istream/callback sources, whose blocking
+  // reads only come up short at end of input.
+  std::shared_ptr<std::atomic<bool>> idle_ =
+      std::make_shared<std::atomic<bool>>(false);
   ReadFn read_;
   BlockReaderOptions options_;
   std::string pending_;  // bytes read but not yet delivered
   bool eof_ = false;
+  std::size_t flush_scan_ = 0;  // idle-flush delimiter scan resume offset
   std::size_t bytes_delivered_ = 0;
 };
 

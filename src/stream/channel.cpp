@@ -99,6 +99,7 @@ std::string BufferPool::acquire() {
   if (free_.empty()) return {};
   std::string buf = std::move(free_.back());
   free_.pop_back();
+  cached_bytes_ -= buf.capacity();
   return buf;
 }
 
@@ -106,7 +107,9 @@ void BufferPool::release(std::string&& buf) {
   if (buf.capacity() == 0) return;
   buf.clear();  // keeps the allocation
   std::lock_guard lock(mu_);
-  if (free_.size() < max_cached_) free_.push_back(std::move(buf));
+  if (cached_bytes_ + buf.capacity() > budget_bytes_) return;  // deallocate
+  cached_bytes_ += buf.capacity();
+  free_.push_back(std::move(buf));
 }
 
 }  // namespace kq::stream

@@ -117,9 +117,18 @@ class Semaphore {
 // through the connecting channel.
 class BufferPool {
  public:
-  // `max_cached` bounds how many free buffers are retained (excess
-  // releases just deallocate); 0 disables pooling entirely.
-  explicit BufferPool(std::size_t max_cached = 32) : max_cached_(max_cached) {}
+  // `budget_bytes` bounds the total capacity retained across free buffers
+  // (excess releases just deallocate); 0 disables pooling entirely. The
+  // byte bound matters for nodes that release much more than they acquire
+  // — a window node (tail/uniq/wc) consumes input blocks but emits almost
+  // nothing until finish(), so a count bound would retain
+  // count · block_size bytes of dead capacity.
+  explicit BufferPool(std::size_t budget_bytes = 8 << 20)
+      : budget_bytes_(budget_bytes) {}
+
+  // Re-sizes the retention budget; callers set it to the run's in-flight
+  // block budget before the dataflow threads start.
+  void set_budget(std::size_t budget_bytes) { budget_bytes_ = budget_bytes; }
 
   // An empty string, with a recycled allocation when one is available.
   std::string acquire();
@@ -129,7 +138,8 @@ class BufferPool {
  private:
   std::mutex mu_;
   std::vector<std::string> free_;
-  const std::size_t max_cached_;
+  std::size_t cached_bytes_ = 0;
+  std::size_t budget_bytes_;
 };
 
 }  // namespace kq::stream

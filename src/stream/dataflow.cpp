@@ -30,11 +30,14 @@ double seconds_since(Clock::time_point start) {
 // become single-stage drain nodes; consecutive parallel stages joined by
 // eliminated combiners fuse into one worker chain whose chunk outputs are
 // combined by the final stage's combiner; consecutive declared-streamable
-// stages fuse into one per-block stream-chain node.
+// stages fuse into one per-block stream-chain node, optionally terminated
+// by a single window-bounded stage (tail -n N, uniq, wc, sort -u) whose
+// finish() flushes at end of input.
 struct Segment {
   std::vector<const exec::ExecStage*> chain;
   bool parallel = false;
   bool stream = false;       // per-block chain of cmd::StreamProcessors
+  bool window = false;       // chain.back() is a cmd::WindowProcessor stage
   bool emit_concat = false;  // combiner is concat: emit instead of folding
   const exec::ExecStage* combine_stage = nullptr;
 
@@ -48,6 +51,14 @@ struct Segment {
   }
 };
 
+// True when the runtime will actually fan this stage out to workers (the
+// plan wanted parallelism and the config allows it). A plan-parallel stage
+// at k = 1 falls back to a sequential node, where declared streamability
+// is strictly better than the materialize drain.
+bool runs_parallel(const exec::ExecStage& stage, const StreamConfig& config) {
+  return stage.parallel && config.parallelism > 1 && stage.combine != nullptr;
+}
+
 // True when the stage may run as (part of) a per-block stream-chain node.
 // Streamability is a statement about *record*-aligned blocks, and the
 // line-based built-ins define records by '\n', so a custom delimiter keeps
@@ -56,14 +67,22 @@ bool stream_chain_stage(const exec::ExecStage& stage,
                         const StreamConfig& config) {
   if (config.delimiter != '\n' || !stage.command) return false;
   const cmd::Streamability s = stage.command->streamability();
-  if (s == cmd::Streamability::kNone) return false;
+  if (s == cmd::Streamability::kNone || s == cmd::Streamability::kWindow)
+    return false;
   if (stage.memory_class == exec::MemoryClass::kStatelessStream) return true;
-  // A per-record stage the *plan* left parallel but the *runtime* cannot
-  // parallelize (k = 1) would fall to the sequential materialize drain;
-  // per-block streaming is strictly better there.
-  const bool runs_parallel =
-      stage.parallel && config.parallelism > 1 && stage.combine;
-  return !runs_parallel && s == cmd::Streamability::kPerRecord;
+  return !runs_parallel(stage, config) && s == cmd::Streamability::kPerRecord;
+}
+
+// True when the stage runs as the window-bounded terminal of a stream
+// chain: declared kWindow and effectively sequential (the plan may still
+// parallelize a window command like wc through its synthesized combiner;
+// the window node only replaces the sequential materialize drain).
+bool window_stage(const exec::ExecStage& stage, const StreamConfig& config) {
+  if (config.delimiter != '\n' || !stage.command) return false;
+  if (stage.command->streamability() != cmd::Streamability::kWindow)
+    return false;
+  if (stage.memory_class == exec::MemoryClass::kWindowStream) return true;
+  return !runs_parallel(stage, config);
 }
 
 std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
@@ -74,14 +93,31 @@ std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
   while (i < stages.size()) {
     Segment seg;
     seg.chain.push_back(&stages[i]);
-    if (stream_chain_stage(stages[i], config)) {
-      // Fuse the maximal run of streamable stages into one per-block node:
-      // a `grep | tr | cut` chain costs one channel hop, not three.
+    if (window_stage(stages[i], config)) {
+      // A window stage is a complete (single-stage) chain: its finish()
+      // emission happens after all input, so nothing can fuse behind it.
       seg.stream = true;
-      while (i + 1 < stages.size() &&
-             stream_chain_stage(stages[i + 1], config)) {
-        ++i;
-        seg.chain.push_back(&stages[i]);
+      seg.window = true;
+    } else if (stream_chain_stage(stages[i], config)) {
+      // Fuse the maximal run of streamable stages into one per-block node:
+      // a `grep | tr | cut` chain costs one channel hop, not three. A
+      // window stage may join as the chain's terminal member — `grep |
+      // uniq` absorbs grep's per-block output directly into the run
+      // window — but ends the fusion: its emission order is finish()'s,
+      // not the input's.
+      seg.stream = true;
+      while (i + 1 < stages.size()) {
+        if (stream_chain_stage(stages[i + 1], config)) {
+          ++i;
+          seg.chain.push_back(&stages[i]);
+        } else if (window_stage(stages[i + 1], config)) {
+          ++i;
+          seg.chain.push_back(&stages[i]);
+          seg.window = true;
+          break;
+        } else {
+          break;
+        }
       }
     } else if (stages[i].parallel && parallel_ok && stages[i].combine) {
       seg.parallel = true;
@@ -120,12 +156,15 @@ struct Shared {
   std::string error;
   std::vector<Channel*> channels;     // populated before threads start
   std::vector<Semaphore*> semaphores;
+  BlockReader* reader = nullptr;      // cancelled on teardown: wakes a
+                                      // node-0 read blocked on an idle pipe
 
   bool halted() const { return failed.load() || stopped.load(); }
 
   void teardown() {
     for (Channel* c : channels) c->abort();
     for (Semaphore* s : semaphores) s->cancel();
+    if (reader) reader->cancel();
   }
 
   void fail(const std::string& message) {
@@ -588,35 +627,85 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
                       const std::function<bool()>& out_closed,
                       const std::function<void()>& cancel_upstream,
                       Shared& shared, const StreamConfig& config) {
-  (void)config;
   const std::size_t n = seg.chain.size();
+  // A window terminal (seg.window) absorbs the chain's output into a
+  // WindowProcessor instead of pushing it; the first m stages are ordinary
+  // per-block StreamProcessors.
+  const std::size_t m = seg.window ? n - 1 : n;
   std::vector<std::unique_ptr<cmd::StreamProcessor>> procs;
-  procs.reserve(n);
-  for (const exec::ExecStage* s : seg.chain) {
-    auto p = s->command->stream_processor();
+  procs.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto p = seg.chain[j]->command->stream_processor();
     if (!p) {  // classification bug; fail loudly rather than drop data
-      shared.fail("stage '" + s->command->display_name() +
+      shared.fail("stage '" + seg.chain[j]->command->display_name() +
                   "' classified streamable but has no stream processor");
       close_out();
       return;
     }
     procs.push_back(std::move(p));
   }
+  const exec::ExecStage* wstage = seg.window ? seg.chain.back() : nullptr;
+  std::unique_ptr<cmd::WindowProcessor> window;
+  if (wstage) {
+    window = wstage->command->window_processor();
+    if (!window) {
+      shared.fail("stage '" + wstage->command->display_name() +
+                  "' classified window-bounded but has no window processor");
+      close_out();
+      return;
+    }
+  }
 
-  std::vector<std::string> bufs(n);      // intermediates, reused per block
-  std::vector<bool> done(n, false);      // output complete (kPrefix bound)
+  // A sort -u window whose distinct set outgrows the spill threshold
+  // exports sorted runs to disk (the window state is itself a sorted -u
+  // stream) and re-streams the k-way merge at end of input — the same
+  // external-merge bound as kSortableSpill, reached only when the window
+  // stops being small. The merge needs the command's *own* spec: a
+  // plan-parallel stage forced sequential at k = 1 carries its combiner's
+  // merge spec in sort_spec (it orders f's outputs, not raw input), so
+  // re-derive for it — the same rule run_sequential applies.
+  std::shared_ptr<const cmd::SortSpec> wspec;
+  if (wstage && config.spill_threshold != 0)
+    wspec = wstage->parallel ? cmd::sort_spec_of(*wstage->command)
+                             : wstage->sort_spec;
+  bool window_spillable = wspec != nullptr;
+  std::unique_ptr<SpillMerger> merger;
+  auto spill_window = [&]() -> bool {
+    if (!window_spillable ||
+        window->state_bytes() < config.spill_threshold)
+      return true;
+    std::string run;
+    if (!window->drain_sorted_run(&run)) {
+      window_spillable = false;  // processor keeps its state resident
+      return true;
+    }
+    if (!merger)
+      merger = std::make_unique<SpillMerger>(
+          wspec, SpillMerger::Input::kSortedParts, config.spill_threshold,
+          &shared.gauge);
+    if (!merger->add(std::move(run))) {
+      shared.fail("spill failed for stage '" +
+                  wstage->command->display_name() + "': " + merger->error());
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<std::string> bufs(m);      // intermediates, reused per block
+  std::vector<bool> done(m, false);      // output complete (kPrefix bound)
   bool pushed_ok = true;
 
-  // Cascades `data` through processors [from, n) and pushes the final
-  // stage's output; from == n pushes `data` itself (finish() tails).
+  // Cascades `data` through processors [from, m); the result is absorbed
+  // by the window terminal when there is one, pushed downstream otherwise.
+  // from == m delivers `data` itself (finish() tails).
   auto feed = [&](std::string_view data, std::size_t from) -> bool {
     std::string_view cur = data;
-    std::string out;  // pooled buffer holding the final stage's output
+    std::string out;  // pooled buffer holding the final emission
     bool have_out = false;
-    for (std::size_t j = from; j < n; ++j) {
+    for (std::size_t j = from; j < m; ++j) {
       if (done[j]) return true;  // complete: the rest of the chain saw all
       std::string* target = &bufs[j];
-      if (j + 1 == n) {
+      if (!window && j + 1 == m) {
         out = shared.pool.acquire();
         target = &out;
         have_out = true;
@@ -625,11 +714,25 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
       if (!procs[j]->process(cur, target)) done[j] = true;
       cur = *target;
     }
-    if (cur.empty()) {
-      if (have_out) shared.pool.release(std::move(out));
-      return true;
+    if (window) {
+      if (cur.empty()) return true;
+      out = shared.pool.acquire();
+      window->push(cur, &out);  // emits only what later input can't change
+      if (!spill_window()) {
+        shared.pool.release(std::move(out));
+        return false;
+      }
+      if (out.empty()) {
+        shared.pool.release(std::move(out));
+        return true;
+      }
+    } else {
+      if (cur.empty()) {
+        if (have_out) shared.pool.release(std::move(out));
+        return true;
+      }
+      if (!have_out) out.assign(cur);
     }
-    if (!have_out) out.assign(cur);
     const std::size_t pushed = out.size();
     if (!push(std::move(out))) return false;
     metrics.out_bytes += pushed;  // count only what downstream accepted
@@ -637,7 +740,7 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
   };
 
   auto input_done = [&] {
-    for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t j = 0; j < m; ++j)
       if (done[j]) return true;  // some stage needs no further input
     return false;
   };
@@ -666,17 +769,60 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
 
   if (pushed_ok && !down_closed && !shared.halted()) {
     // End-of-input flush: tail state of each still-open processor cascades
-    // through the rest of the chain. Stages before a completed one are
-    // skipped — their output could only feed a stage that needs nothing.
+    // through the rest of the chain (and into the window terminal). Stages
+    // before a completed one are skipped — their output could only feed a
+    // stage that needs nothing.
     std::size_t first = 0;
-    while (first < n && !done[first]) ++first;
+    while (first < m && !done[first]) ++first;
     std::string tail;
-    for (std::size_t j = (first < n ? first + 1 : 0); j < n; ++j) {
+    bool flushed_ok = true;
+    for (std::size_t j = (first < m ? first + 1 : 0); j < m; ++j) {
       if (done[j]) continue;
       tail.clear();
       procs[j]->finish(&tail);
-      if (!tail.empty() && !feed(tail, j + 1)) break;
+      if (!tail.empty() && !feed(tail, j + 1)) {
+        flushed_ok = false;
+        break;
+      }
     }
+    if (window && flushed_ok && !shared.halted()) {
+      if (merger) {
+        // Spilled window: the resident remainder becomes the final sorted
+        // run, and the external k-way merge re-streams the result.
+        std::string last;
+        bool ok = true;
+        if (window->drain_sorted_run(&last) && !last.empty())
+          ok = merger->add(std::move(last));
+        if (ok)
+          ok = merger->finish(
+              [&](std::string&& block) {
+                metrics.out_bytes += block.size();
+                return push(std::move(block));
+              },
+              config.block_size);
+        if (!ok && !shared.halted() && !out_closed())
+          shared.fail("spill merge failed for stage '" +
+                      wstage->command->display_name() +
+                      "': " + merger->error());
+      } else {
+        // Window flush: emission stops the moment downstream closes —
+        // cancellation propagates through finish().
+        window->finish([&](std::string_view piece) {
+          if (piece.empty()) return true;
+          if (shared.halted() || out_closed()) return false;
+          std::string out = shared.pool.acquire();
+          out.assign(piece);
+          const std::size_t pushed = out.size();
+          if (!push(std::move(out))) return false;
+          metrics.out_bytes += pushed;
+          return true;
+        });
+      }
+    }
+  }
+  if (merger) {
+    metrics.spilled_bytes = merger->spilled_bytes();
+    metrics.spill_runs = merger->runs_spilled();
   }
   close_out();
 }
@@ -728,6 +874,12 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
   const std::size_t n = segments.size();
 
   Shared shared;
+  shared.reader = &reader;
+  // The pool may retain at most one in-flight budget of free capacity:
+  // enough for steady-state circulation, without letting a release-heavy
+  // node (a window absorbing blocks and emitting nothing) park the whole
+  // stream's blocks as dead pool capacity.
+  shared.pool.set_budget(config.max_inflight * config.block_size);
   std::vector<std::unique_ptr<Channel>> links;  // segment i -> i+1
   for (std::size_t i = 0; i + 1 < n; ++i)
     links.push_back(
@@ -740,6 +892,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     result.nodes[i].parallel = segments[i].parallel;
     result.nodes[i].streamed_combine = segments[i].emit_concat;
     result.nodes[i].per_block = segments[i].stream;
+    result.nodes[i].window = segments[i].window;
     if (segments[i].parallel) {
       ctxs[i] =
           std::make_unique<ParallelCtx>(config.max_inflight, &shared.gauge);
@@ -790,16 +943,21 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     }
     // Upstream cancellation: read-close the incoming channel (wakes a
     // blocked producer, whose failed push cascades the close further up)
-    // and stop this segment's own feeder if it has one. Node 0 pulls from
-    // the BlockReader, which simply stops being asked for blocks.
+    // and stop this segment's own feeder if it has one. The BlockReader is
+    // cancelled outright — in a linear pipeline a close anywhere makes
+    // everything upstream moot, and the reader's fd source polls, so even
+    // a node-0 read blocked on an idle pipe wakes within one poll tick
+    // instead of at the next (possibly never-arriving) block boundary.
     Channel* in_link = i > 0 ? links[i - 1].get() : nullptr;
     ParallelCtx* ctx_ptr = ctxs[i].get();
-    std::function<void()> cancel_upstream = [in_link, ctx_ptr] {
+    BlockReader* reader_ptr = &reader;
+    std::function<void()> cancel_upstream = [in_link, ctx_ptr, reader_ptr] {
       if (ctx_ptr) {
         ctx_ptr->stop_input.store(true);
         ctx_ptr->slots.cancel();
       }
       if (in_link) in_link->close_read();
+      reader_ptr->cancel();
     };
 
     const Segment& seg = segments[i];
@@ -880,16 +1038,28 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
   return result;
 }
 
+// Shared by every entry point: a record that cannot even be buffered
+// within the spill budget fails loudly (EMSGSIZE) rather than growing
+// pending_ without bound.
+BlockReaderOptions reader_options(const StreamConfig& config) {
+  return {config.block_size == 0 ? 1 : config.block_size, config.delimiter,
+          config.spill_threshold};
+}
+
+Sink ostream_sink(std::ostream& output) {
+  return [&output](std::string_view bytes) {
+    output.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(output);
+  };
+}
+
 }  // namespace
 
 StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
                            std::istream& input, const Sink& sink,
                            exec::ThreadPool& pool,
                            const StreamConfig& config) {
-  // A record that cannot even be buffered within the spill budget fails
-  // loudly (EMSGSIZE) rather than growing pending_ without bound.
-  BlockReader reader(input, {config.block_size == 0 ? 1 : config.block_size,
-                             config.delimiter, config.spill_threshold});
+  BlockReader reader(input, reader_options(config));
   return run_streaming_core(stages, reader, sink, pool, config);
 }
 
@@ -897,11 +1067,23 @@ StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
                            std::istream& input, std::ostream& output,
                            exec::ThreadPool& pool,
                            const StreamConfig& config) {
-  Sink sink = [&output](std::string_view bytes) {
-    output.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    return static_cast<bool>(output);
-  };
-  return run_streaming(stages, input, sink, pool, config);
+  return run_streaming(stages, input, ostream_sink(output), pool, config);
+}
+
+StreamResult run_streaming_fd(const std::vector<exec::ExecStage>& stages,
+                              int input_fd, const Sink& sink,
+                              exec::ThreadPool& pool,
+                              const StreamConfig& config) {
+  BlockReader reader(input_fd, reader_options(config));
+  return run_streaming_core(stages, reader, sink, pool, config);
+}
+
+StreamResult run_streaming_fd(const std::vector<exec::ExecStage>& stages,
+                              int input_fd, std::ostream& output,
+                              exec::ThreadPool& pool,
+                              const StreamConfig& config) {
+  return run_streaming_fd(stages, input_fd, ostream_sink(output), pool,
+                          config);
 }
 
 StreamResult run_streaming_string(const std::vector<exec::ExecStage>& stages,

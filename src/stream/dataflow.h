@@ -16,6 +16,13 @@
 //     the close propagating upstream channel by channel until the
 //     BlockReader stops reading: `head -n 10` costs O(blocks), not
 //     O(input);
+//   - window-bounded stages (exec::MemoryClass::kWindowStream: tail -n N,
+//     uniq, wc, sort -u) absorb blocks into a cmd::WindowProcessor and
+//     flush the residue at end of input, holding O(window) instead of
+//     materializing; a window stage fuses as the *terminal* member of a
+//     stream chain (its finish() reorders emission, so nothing fuses after
+//     it), and a sort -u window past the spill threshold exports sorted
+//     runs through the external merge;
 //   - all pipeline segments run concurrently instead of in stage barriers;
 //   - combining is incremental: each segment's combiner folds chunk
 //     outputs as they arrive in input order (doubling group sizes keep the
@@ -73,6 +80,7 @@ struct NodeMetrics {
   bool parallel = false;
   bool streamed_combine = false;  // concat emission, no accumulation
   bool per_block = false;         // stream-chain node (kStatelessStream)
+  bool window = false;            // chain ends in a window stage (kWindow)
   int chunks = 0;                 // blocks processed by this node
   std::size_t in_bytes = 0;
   std::size_t out_bytes = 0;
@@ -109,6 +117,19 @@ StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
 StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,
                            std::istream& input, std::ostream& output,
                            exec::ThreadPool& pool, const StreamConfig& config);
+
+// Stream from a file descriptor. Unlike the istream overloads, the fd
+// source is poll(2)-driven, so upstream cancellation (a satisfied head, a
+// closed sink) wakes a node blocked in a long read on an idle pipe
+// promptly instead of at the next block boundary.
+StreamResult run_streaming_fd(const std::vector<exec::ExecStage>& stages,
+                              int input_fd, const Sink& sink,
+                              exec::ThreadPool& pool,
+                              const StreamConfig& config);
+StreamResult run_streaming_fd(const std::vector<exec::ExecStage>& stages,
+                              int input_fd, std::ostream& output,
+                              exec::ThreadPool& pool,
+                              const StreamConfig& config);
 
 // In-memory convenience for tests and benches. If (and only if)
 // incremental combination turns out undefined mid-stream (the batch

@@ -8,6 +8,7 @@
 // `execute` concurrently from multiple worker threads on one instance.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -46,6 +47,14 @@ enum class Streamability {
   // complete and further input cannot change it (head -n N, sed Nq). The
   // runtime may cancel the upstream graph once the processor reports done.
   kPrefix,
+  // Window-bounded: the command needs the *whole* input but only a bounded
+  // window of state at any moment — `tail -n N` holds the last N records,
+  // `uniq` one run, `wc` a few counters, `sort -u` its distinct set. A
+  // WindowProcessor absorbs record-aligned blocks (emitting any output that
+  // is already final, like uniq's completed runs) and flushes the residue
+  // at end of input through finish(). Because finish() reorders emission
+  // relative to input, a window stage terminates a fused stream chain.
+  kWindow,
 };
 
 // Stateful per-block executor behind a streamable command. One processor
@@ -68,6 +77,46 @@ class StreamProcessor {
   virtual void finish(std::string* out) { (void)out; }
 };
 
+// Stateful bounded-window executor behind a kWindow command. One processor
+// serves exactly one stream: the runtime feeds record-aligned blocks in
+// input order; output that later input can no longer change may be appended
+// during push() (uniq's completed runs), everything still held in the
+// window flushes at end of input through finish(). The concatenation of all
+// push() outputs followed by the finish() emission must equal execute()
+// over the concatenated blocks. Owned by a single dataflow node; need not
+// be thread-safe.
+class WindowProcessor {
+ public:
+  // Receives finish()'s residue in record-aligned pieces; returns false to
+  // stop emission early (the consumer closed — cancellation propagates
+  // through finish()).
+  using Sink = std::function<bool(std::string_view)>;
+
+  virtual ~WindowProcessor() = default;
+
+  // Absorbs one record-aligned block into the window, appending any output
+  // that is already final to *out.
+  virtual void push(std::string_view block, std::string* out) = 0;
+
+  // Emits everything still held in the window at end of input. Stops early
+  // (and may discard the rest) once `sink` returns false. Single-shot.
+  virtual void finish(const Sink& sink) = 0;
+
+  // Bytes currently resident in the window — the node's spill trigger and
+  // the honest denominator of the O(window) memory claim.
+  virtual std::size_t state_bytes() const = 0;
+
+  // For windows whose state is itself a sorted stream under the owning
+  // stage's comparator (sort -u's distinct set): moves the state into *out
+  // as a newline-terminated sorted stream and resets the window, so the
+  // runtime can spill it as one sorted run and keep the window bounded by
+  // the spill threshold. Default: unsupported.
+  virtual bool drain_sorted_run(std::string* out) {
+    (void)out;
+    return false;
+  }
+};
+
 class Command {
  public:
   virtual ~Command() = default;
@@ -85,12 +134,19 @@ class Command {
   std::string run(std::string_view input) const { return execute(input).out; }
 
   // This command's streamability class; kNone unless a built-in declares
-  // otherwise. Must agree with stream_processor(): non-kNone iff non-null.
+  // otherwise. Must agree with the processor factories: stream_processor()
+  // is non-null iff kPerRecord/kPrefix, window_processor() iff kWindow.
   virtual Streamability streamability() const { return Streamability::kNone; }
 
   // A fresh per-stream processor for a streamable command (the instance
-  // must outlive the processor). Null for kNone commands.
+  // must outlive the processor). Null for kNone and kWindow commands.
   virtual std::unique_ptr<StreamProcessor> stream_processor() const {
+    return nullptr;
+  }
+
+  // A fresh per-stream window processor for a kWindow command (the
+  // instance must outlive the processor). Null otherwise.
+  virtual std::unique_ptr<WindowProcessor> window_processor() const {
     return nullptr;
   }
 

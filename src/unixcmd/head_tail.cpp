@@ -13,9 +13,12 @@
 // runtime cancel the upstream graph — `head -n 10` over a multi-GiB input
 // reads O(blocks), not the whole file. `tail +N` streams too (skip a
 // bounded prefix, then pass through); `tail -n N` needs the end of the
-// input and stays a black box.
+// input but only the last N records of it at any moment, so it is the
+// canonical *window*-bounded command: a ring buffer of N records absorbs
+// blocks and flushes at end of input (cmd::Streamability::kWindow).
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 
 #include "text/streams.h"
@@ -107,6 +110,73 @@ class TailFromStreamProcessor final : public StreamProcessor {
   long skip_;
 };
 
+// `tail -n N`: a ring buffer of the last N records — the window is N lines,
+// regardless of input size. Nothing is final until end of input (any record
+// can still be evicted), so push() emits nothing and finish() flushes the
+// ring. The missing-final-newline audit carries through: the ring remembers
+// whether the last absorbed record was terminated, so an unterminated last
+// input line stays unterminated like GNU tail (and like execute()).
+class TailLastWindowProcessor final : public WindowProcessor {
+ public:
+  explicit TailLastWindowProcessor(long n)
+      : limit_(n > 0 ? static_cast<std::size_t>(n) : 0) {}
+
+  void push(std::string_view block, std::string* out) override {
+    (void)out;
+    if (block.empty()) return;
+    terminated_ = block.back() == '\n';
+    if (limit_ == 0) return;
+    auto ls = text::lines(block);
+    // A block with >= N lines replaces the whole window: everything held
+    // so far (and the block's own earlier lines) is evicted unseen, so
+    // copy only the last N instead of churning one string per input line.
+    std::size_t first = 0;
+    if (ls.size() >= limit_) {
+      first = ls.size() - limit_;
+      ring_.clear();
+      bytes_ = 0;
+    }
+    for (std::size_t i = first; i < ls.size(); ++i) {
+      if (ring_.size() == limit_) {
+        // Steady state: recycle the evictee's allocation for the newcomer.
+        std::string recycled = std::move(ring_.front());
+        ring_.pop_front();
+        bytes_ -= recycled.size();
+        recycled.assign(ls[i]);
+        bytes_ += recycled.size();
+        ring_.push_back(std::move(recycled));
+      } else {
+        ring_.emplace_back(ls[i]);
+        bytes_ += ls[i].size();
+      }
+    }
+  }
+
+  void finish(const Sink& sink) override {
+    std::string buf;
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      buf += ring_[i];
+      if (i + 1 < ring_.size() || terminated_) buf.push_back('\n');
+      if (buf.size() >= kFlushBytes) {
+        if (!sink(buf)) return;
+        buf.clear();
+      }
+    }
+    if (!buf.empty()) sink(buf);
+  }
+
+  std::size_t state_bytes() const override {
+    return bytes_ + ring_.size() * sizeof(std::string);
+  }
+
+ private:
+  static constexpr std::size_t kFlushBytes = 64 << 10;
+  const std::size_t limit_;
+  std::deque<std::string> ring_;
+  std::size_t bytes_ = 0;
+  bool terminated_ = true;
+};
+
 class TailCommand final : public Command {
  public:
   // from_line > 0: `tail +N` (output starting at line N).
@@ -128,11 +198,16 @@ class TailCommand final : public Command {
   }
 
   Streamability streamability() const override {
-    return from_line_ > 0 ? Streamability::kPerRecord : Streamability::kNone;
+    return from_line_ > 0 ? Streamability::kPerRecord
+                          : Streamability::kWindow;
   }
   std::unique_ptr<StreamProcessor> stream_processor() const override {
     if (from_line_ <= 0) return nullptr;
     return std::make_unique<TailFromStreamProcessor>(from_line_);
+  }
+  std::unique_ptr<WindowProcessor> window_processor() const override {
+    if (from_line_ > 0) return nullptr;
+    return std::make_unique<TailLastWindowProcessor>(last_n_);
   }
 
  private:

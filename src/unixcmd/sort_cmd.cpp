@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <limits>
+#include <set>
 
 #include "text/streams.h"
 
@@ -317,6 +318,77 @@ bool SortSpec::is_sorted_stream(std::string_view input) const {
 
 namespace {
 
+// `sort -u` as a window: the only state the output depends on is the set of
+// *distinct* lines, ordered by the spec's comparator. An ordered set keyed
+// by compare() reproduces execute() exactly — stable_sort puts the
+// earliest-input line first within each equal-key class and -u keeps it,
+// and std::set::insert likewise keeps the first-inserted element — so the
+// window is O(distinct output), not O(input). When the distinct set itself
+// outgrows the runtime's budget, drain_sorted_run() exports it as one
+// sorted run (the state *is* a sorted -u stream) and the dataflow node
+// spills it through the external merge, whose cross-run -u dedup and
+// run-index tie-break preserve the same first-occurrence choice.
+class SortUniqueWindowProcessor final : public WindowProcessor {
+ public:
+  explicit SortUniqueWindowProcessor(const SortSpec* spec)
+      : set_(Cmp{spec}) {}
+
+  void push(std::string_view block, std::string* out) override {
+    (void)out;  // any line can still be preceded; nothing is final
+    for (std::string_view line : text::lines(block)) {
+      // One tree walk per line: lower_bound doubles as the duplicate
+      // check and the insertion hint.
+      auto it = set_.lower_bound(line);
+      if (it != set_.end() && !set_.key_comp()(line, *it)) continue;
+      set_.emplace_hint(it, line);
+      bytes_ += line.size() + kPerLineOverhead;
+    }
+  }
+
+  void finish(const Sink& sink) override {
+    std::string buf;
+    for (const std::string& line : set_) {
+      buf += line;
+      buf.push_back('\n');
+      if (buf.size() >= kFlushBytes) {
+        if (!sink(buf)) return;
+        buf.clear();
+      }
+    }
+    if (!buf.empty()) sink(buf);
+  }
+
+  std::size_t state_bytes() const override { return bytes_; }
+
+  bool drain_sorted_run(std::string* out) override {
+    out->clear();
+    out->reserve(bytes_);
+    for (const std::string& line : set_) {
+      *out += line;
+      out->push_back('\n');
+    }
+    set_.clear();
+    bytes_ = 0;
+    return true;
+  }
+
+ private:
+  struct Cmp {
+    using is_transparent = void;  // heterogeneous find: no alloc on dups
+    const SortSpec* spec;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return spec->compare(a, b) < 0;
+    }
+  };
+  // Rough allocator cost of a set node beyond the line's own bytes.
+  static constexpr std::size_t kPerLineOverhead =
+      sizeof(std::string) + 4 * sizeof(void*);
+  static constexpr std::size_t kFlushBytes = 64 << 10;
+
+  std::set<std::string, Cmp> set_;
+  std::size_t bytes_ = 0;
+};
+
 class SortCommand final : public Command {
  public:
   SortCommand(std::string name, SortSpec spec)
@@ -324,6 +396,19 @@ class SortCommand final : public Command {
 
   Result execute(std::string_view input) const override {
     return {spec_.sort_stream(input), 0, {}};
+  }
+
+  // Without -u, sort's state is the whole input (the external merge sort
+  // bounds it instead); with -u the distinct set is the window, and every
+  // supported comparator yields the same first-occurrence representative
+  // as stable_sort + dedup, so the window declaration is safe whenever -u
+  // parses.
+  Streamability streamability() const override {
+    return spec_.unique() ? Streamability::kWindow : Streamability::kNone;
+  }
+  std::unique_ptr<WindowProcessor> window_processor() const override {
+    if (!spec_.unique()) return nullptr;
+    return std::make_unique<SortUniqueWindowProcessor>(&spec_);
   }
 
   const SortSpec& spec() const { return spec_; }

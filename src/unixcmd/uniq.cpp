@@ -1,5 +1,17 @@
-// Built-in `uniq`: collapse adjacent duplicate lines; -c prefixes each kept
-// line with its run length right-aligned in a 7-column field (GNU format).
+// Built-in `uniq`: collapse adjacent duplicate lines. Supported flags, all
+// combinable like GNU uniq:
+//   -c  prefix each kept line with its run length right-aligned in a
+//       7-column field (GNU format)
+//   -d  print only the first line of runs longer than one
+//   -u  print only lines that do not repeat (-d -u together prints nothing,
+//       matching GNU)
+//
+// uniq is the canonical window-bounded command (Streamability::kWindow):
+// the only state that later input can still change is the *current* run
+// (its line and count), so the window processor emits each run the moment
+// the next one starts and flushes the final run at end of input. execute()
+// runs the same processor over the whole input, so the batch and window
+// paths are byte-identical by construction.
 
 #include "text/streams.h"
 #include "unixcmd/builtins.h"
@@ -7,49 +19,112 @@
 namespace kq::cmd {
 namespace {
 
+struct UniqFlags {
+  bool count = false;      // -c
+  bool dup_only = false;   // -d
+  bool uniq_only = false;  // -u
+};
+
+class UniqWindowProcessor final : public WindowProcessor {
+ public:
+  explicit UniqWindowProcessor(UniqFlags flags) : flags_(flags) {}
+
+  void push(std::string_view block, std::string* out) override {
+    for (std::string_view line : text::lines(block)) {
+      if (have_run_ && line == run_line_) {
+        ++run_count_;
+        continue;
+      }
+      append_run(out);
+      run_line_.assign(line);
+      run_count_ = 1;
+      have_run_ = true;
+    }
+  }
+
+  void finish(const Sink& sink) override {
+    std::string out;
+    append_run(&out);
+    if (!out.empty()) sink(out);
+  }
+
+  std::size_t state_bytes() const override { return run_line_.size(); }
+
+ private:
+  // Flushes the completed run, applying the -c/-d/-u selection. Output
+  // lines are always newline-terminated (GNU uniq re-terminates an
+  // unterminated final input line).
+  void append_run(std::string* out) {
+    if (!have_run_) return;
+    const bool keep =
+        run_count_ > 1 ? !flags_.uniq_only : !flags_.dup_only;
+    if (!keep) return;
+    if (flags_.count) {
+      std::string count = std::to_string(run_count_);
+      if (count.size() < 7) out->append(7 - count.size(), ' ');
+      *out += count;
+      out->push_back(' ');
+    }
+    *out += run_line_;
+    out->push_back('\n');
+  }
+
+  const UniqFlags flags_;
+  std::string run_line_;
+  std::size_t run_count_ = 0;
+  bool have_run_ = false;
+};
+
 class UniqCommand final : public Command {
  public:
-  UniqCommand(std::string name, bool count)
-      : Command(std::move(name)), count_(count) {}
+  UniqCommand(std::string name, UniqFlags flags)
+      : Command(std::move(name)), flags_(flags) {}
 
   Result execute(std::string_view input) const override {
-    auto ls = text::lines(input);
+    UniqWindowProcessor window(flags_);
     std::string out;
-    out.reserve(input.size());
-    std::size_t i = 0;
-    while (i < ls.size()) {
-      std::size_t j = i + 1;
-      while (j < ls.size() && ls[j] == ls[i]) ++j;
-      if (count_) {
-        std::string count = std::to_string(j - i);
-        if (count.size() < 7) out.append(7 - count.size(), ' ');
-        out += count;
-        out.push_back(' ');
-      }
-      out += ls[i];
-      out.push_back('\n');
-      i = j;
-    }
+    out.reserve(input.size() / 2);
+    window.push(input, &out);
+    window.finish([&out](std::string_view tail) {
+      out.append(tail);
+      return true;
+    });
     return {std::move(out), 0, {}};
   }
 
+  Streamability streamability() const override {
+    return Streamability::kWindow;
+  }
+  std::unique_ptr<WindowProcessor> window_processor() const override {
+    return std::make_unique<UniqWindowProcessor>(flags_);
+  }
+
  private:
-  bool count_;
+  UniqFlags flags_;
 };
 
 }  // namespace
 
 CommandPtr make_uniq(const Argv& argv, std::string* error) {
-  bool count = false;
+  UniqFlags flags;
   for (std::size_t i = 1; i < argv.size(); ++i) {
-    if (argv[i] == "-c") {
-      count = true;
-    } else {
-      if (error) *error = "uniq: unsupported flag " + argv[i];
+    const std::string& a = argv[i];
+    if (a.size() < 2 || a[0] != '-') {
+      if (error) *error = "uniq: unsupported operand " + a;
       return nullptr;
     }
+    for (std::size_t j = 1; j < a.size(); ++j) {
+      switch (a[j]) {
+        case 'c': flags.count = true; break;
+        case 'd': flags.dup_only = true; break;
+        case 'u': flags.uniq_only = true; break;
+        default:
+          if (error) *error = "uniq: unsupported flag " + a;
+          return nullptr;
+      }
+    }
   }
-  return std::make_shared<UniqCommand>(argv_to_display(argv), count);
+  return std::make_shared<UniqCommand>(argv_to_display(argv), flags);
 }
 
 }  // namespace kq::cmd

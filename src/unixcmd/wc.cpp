@@ -1,6 +1,14 @@
-// Built-in `wc`: line/word/byte counts. Reading from standard input, GNU wc
-// prints bare numbers for a single count and right-aligned columns for
-// multiple counts; we reproduce both formats.
+// Built-in `wc`: line/word/char/byte counts (-l/-w/-m/-c; no flags means
+// -lwc like GNU). Reading from standard input, GNU wc prints bare numbers
+// for a single count and right-aligned 7-column fields for multiple counts,
+// in the fixed order lines, words, chars, bytes; we reproduce both formats.
+// -m counts characters as UTF-8 code points (continuation bytes excluded),
+// which matches GNU under a UTF-8 locale and equals -c on ASCII input.
+//
+// wc's window is three integers and a word-boundary flag, so it is the
+// cheapest kWindow command: the processor absorbs blocks into counters and
+// emits one line at end of input. execute() runs the same processor over
+// the whole input, keeping the batch and window paths byte-identical.
 
 #include <cctype>
 
@@ -9,40 +17,39 @@
 namespace kq::cmd {
 namespace {
 
-struct Counts {
-  std::uint64_t lines = 0;
-  std::uint64_t words = 0;
-  std::uint64_t bytes = 0;
+struct WcFlags {
+  bool lines = false;
+  bool words = false;
+  bool chars = false;  // -m
+  bool bytes = false;
 };
 
-Counts count(std::string_view input) {
-  Counts c;
-  c.bytes = input.size();
-  bool in_word = false;
-  for (char ch : input) {
-    if (ch == '\n') ++c.lines;
-    if (std::isspace(static_cast<unsigned char>(ch))) {
-      in_word = false;
-    } else if (!in_word) {
-      in_word = true;
-      ++c.words;
+class WcWindowProcessor final : public WindowProcessor {
+ public:
+  explicit WcWindowProcessor(WcFlags flags) : flags_(flags) {}
+
+  void push(std::string_view block, std::string* out) override {
+    (void)out;  // nothing is final until end of input
+    bytes_ += block.size();
+    for (char ch : block) {
+      if (ch == '\n') ++lines_;
+      // UTF-8 continuation bytes (10xxxxxx) extend the current character.
+      if ((static_cast<unsigned char>(ch) & 0xC0) != 0x80) ++chars_;
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        in_word_ = false;
+      } else if (!in_word_) {
+        in_word_ = true;
+        ++words_;
+      }
     }
   }
-  return c;
-}
 
-class WcCommand final : public Command {
- public:
-  WcCommand(std::string name, bool lines, bool words, bool bytes)
-      : Command(std::move(name)), lines_(lines), words_(words),
-        bytes_(bytes) {}
-
-  Result execute(std::string_view input) const override {
-    Counts c = count(input);
+  void finish(const Sink& sink) override {
     std::vector<std::uint64_t> selected;
-    if (lines_) selected.push_back(c.lines);
-    if (words_) selected.push_back(c.words);
-    if (bytes_) selected.push_back(c.bytes);
+    if (flags_.lines) selected.push_back(lines_);
+    if (flags_.words) selected.push_back(words_);
+    if (flags_.chars) selected.push_back(chars_);
+    if (flags_.bytes) selected.push_back(bytes_);
     std::string out;
     if (selected.size() == 1) {
       out = std::to_string(selected[0]);
@@ -56,17 +63,51 @@ class WcCommand final : public Command {
       }
     }
     out.push_back('\n');
+    sink(out);
+  }
+
+  std::size_t state_bytes() const override { return sizeof(*this); }
+
+ private:
+  const WcFlags flags_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t words_ = 0;
+  std::uint64_t chars_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool in_word_ = false;
+};
+
+class WcCommand final : public Command {
+ public:
+  WcCommand(std::string name, WcFlags flags)
+      : Command(std::move(name)), flags_(flags) {}
+
+  Result execute(std::string_view input) const override {
+    WcWindowProcessor window(flags_);
+    std::string out;
+    window.push(input, &out);
+    window.finish([&out](std::string_view tail) {
+      out.append(tail);
+      return true;
+    });
     return {std::move(out), 0, {}};
   }
 
+  Streamability streamability() const override {
+    return Streamability::kWindow;
+  }
+  std::unique_ptr<WindowProcessor> window_processor() const override {
+    return std::make_unique<WcWindowProcessor>(flags_);
+  }
+
  private:
-  bool lines_, words_, bytes_;
+  WcFlags flags_;
 };
 
 }  // namespace
 
 CommandPtr make_wc(const Argv& argv, std::string* error) {
-  bool lines = false, words = false, bytes = false;
+  WcFlags flags;
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
     if (a.size() < 2 || a[0] != '-') {
@@ -75,18 +116,19 @@ CommandPtr make_wc(const Argv& argv, std::string* error) {
     }
     for (std::size_t j = 1; j < a.size(); ++j) {
       switch (a[j]) {
-        case 'l': lines = true; break;
-        case 'w': words = true; break;
-        case 'c': bytes = true; break;
+        case 'l': flags.lines = true; break;
+        case 'w': flags.words = true; break;
+        case 'm': flags.chars = true; break;
+        case 'c': flags.bytes = true; break;
         default:
           if (error) *error = "wc: unsupported flag";
           return nullptr;
       }
     }
   }
-  if (!lines && !words && !bytes) lines = words = bytes = true;
-  return std::make_shared<WcCommand>(argv_to_display(argv), lines, words,
-                                     bytes);
+  if (!flags.lines && !flags.words && !flags.chars && !flags.bytes)
+    flags.lines = flags.words = flags.bytes = true;
+  return std::make_shared<WcCommand>(argv_to_display(argv), flags);
 }
 
 }  // namespace kq::cmd

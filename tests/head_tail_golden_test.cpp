@@ -35,7 +35,9 @@ struct GoldenCase {
 exec::ExecStage make_stage(const cmd::CommandPtr& command) {
   exec::ExecStage stage;
   stage.command = command;
-  if (command->streamability() != cmd::Streamability::kNone)
+  if (command->streamability() == cmd::Streamability::kWindow)
+    stage.memory_class = exec::MemoryClass::kWindowStream;
+  else if (command->streamability() != cmd::Streamability::kNone)
     stage.memory_class = exec::MemoryClass::kStatelessStream;
   return stage;
 }

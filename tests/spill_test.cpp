@@ -347,11 +347,17 @@ TEST(SpillDataflow, ParallelRerunCombinerSpoolsThroughDisk) {
 
 TEST(SpillDataflow, MaterializeNodeSpoolsThroughDisk) {
   // An unknown-to-synthesis sequential stage must still produce exact
-  // output when its drain spools through the temp file.
+  // output when its drain spools through the temp file. uniq itself now
+  // window-streams (kWindowStream), so wrap it as an opaque lambda — same
+  // semantics, no streamability declaration — to keep a true materialize
+  // witness.
   std::vector<exec::ExecStage> stages;
   exec::ExecStage s;
-  s.command = cmd::make_command_line("uniq -c");
-  ASSERT_NE(s.command, nullptr);
+  cmd::CommandPtr uniq = cmd::make_command_line("uniq -c");
+  ASSERT_NE(uniq, nullptr);
+  s.command = cmd::make_lambda_command(
+      uniq->display_name(),
+      [uniq](std::string_view in) { return uniq->run(in); });
   s.parallel = false;
   stages.push_back(std::move(s));
 

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <sstream>
 #include <thread>
 
@@ -133,6 +136,71 @@ TEST(BlockReader, ReadFnSource) {
   EXPECT_EQ(joined(blocks), input);
 }
 
+TEST(BlockReader, ShortReadFlushesPendingRecords) {
+  // A pipe between bursts must not hold delivered records hostage to a
+  // full block: 6 bytes of complete records against a 1 MiB block size are
+  // delivered on the first short read instead of blocking for more input.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "a\nb\nc", 5), 5);  // partial final record
+  BlockReader reader(fds[0], {1 << 20, '\n'});
+  auto block = reader.next();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, "a\nb\n");  // complete records only; "c" stays pending
+  ::close(fds[1]);              // EOF releases the partial tail
+  block = reader.next();
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(*block, "c");
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_EQ(reader.error(), 0);
+  ::close(fds[0]);
+}
+
+TEST(BlockReader, PendingRecordsFlushBeforeBlockingOnIdlePipe) {
+  // A burst that overshoots the block boundary leaves complete records in
+  // pending_ after the first delivery. With the pipe now idle (write end
+  // open, no data), subsequent next() calls must deliver those records
+  // instead of blocking in another read — the idle check runs before
+  // fill(). Before the fix this hung until the producer wrote or closed.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "aaaa\nbbbb\ncccc\n", 15), 15);
+  BlockReader reader(fds[0], {8, '\n'});  // burst spans several blocks
+  std::string collected;
+  for (int i = 0; i < 3 && collected.size() < 15; ++i) {
+    auto block = reader.next();
+    ASSERT_TRUE(block.has_value()) << "block " << i;
+    collected += *block;
+  }
+  EXPECT_EQ(collected, "aaaa\nbbbb\ncccc\n");  // all without EOF or hang
+  ::close(fds[1]);
+  ::close(fds[0]);
+}
+
+TEST(BlockReader, CancelWakesReadBlockedOnIdlePipe) {
+  // cancel() must wake a reader blocked in read(2) on a pipe nobody is
+  // writing to — the fd source polls with a timeout — and end the stream
+  // as a clean EOF, not an error. Before the poll-based source, this
+  // blocked until the writer produced a block or closed.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  BlockReader reader(fds[0], {1 << 20, '\n'});
+  std::thread canceller([&reader] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    reader.cancel();
+  });
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(reader.next(), std::nullopt);
+  double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  EXPECT_EQ(reader.error(), 0);  // cancellation is not a read failure
+  EXPECT_LT(waited, 5.0);        // one ~50 ms poll tick, with CI slack
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 // -------------------------------------------------------------- channel --
 
 TEST(Channel, DeliversInOrder) {
@@ -229,7 +297,7 @@ TEST(Channel, CloseReadWakesBlockedProducer) {
 }
 
 TEST(BufferPool, RecyclesAllocations) {
-  BufferPool pool(2);
+  BufferPool pool(/*budget_bytes=*/1024);
   std::string a = pool.acquire();
   a = "some contents that force an allocation";
   const char* data = a.data();
@@ -238,6 +306,24 @@ TEST(BufferPool, RecyclesAllocations) {
   EXPECT_TRUE(b.empty());
   EXPECT_EQ(b.data(), data);  // same allocation came back
   EXPECT_TRUE(pool.acquire().empty());  // pool drained: fresh string
+}
+
+TEST(BufferPool, ByteBudgetBoundsRetainedCapacity) {
+  // The pool bounds retained *bytes*, not buffer count: a release-heavy
+  // node (a window absorbing input blocks, emitting nothing) must not park
+  // unbounded dead capacity.
+  BufferPool pool(/*budget_bytes=*/100);
+  std::string big(200, 'x');
+  pool.release(std::move(big));       // over budget: deallocated
+  EXPECT_TRUE(pool.acquire().empty());
+  std::string small(60, 'x');
+  const char* data = small.data();
+  pool.release(std::move(small));     // fits: retained
+  std::string second(60, 'y');
+  pool.release(std::move(second));    // 60 + 60 > 100: dropped
+  std::string back = pool.acquire();
+  EXPECT_EQ(back.data(), data);
+  EXPECT_TRUE(pool.acquire().empty());
 }
 
 // ------------------------------------------------------------- dataflow --
@@ -587,6 +673,38 @@ TEST(StreamChain, PrefixEarlyExitStopsTheReader) {
   EXPECT_FALSE(r.stopped_early);  // the *output* is complete, not truncated
   EXPECT_EQ(output, exec::run_serial(stages, input).output);
   EXPECT_LT(r.bytes_read, 8 * config.block_size) << "reader kept draining";
+}
+
+TEST(StreamChain, HeadOverIdlePipeCompletesWithoutEof) {
+  // A pipe receives 20 lines and then goes idle with its write end still
+  // open: EOF never arrives. head -n 5 must still complete promptly — the
+  // short-read flush delivers the burst's records without waiting for a
+  // full block, head satisfies its count, and upstream cancellation (via
+  // the poll-driven fd source) stops the reader instead of leaving it in a
+  // read(2) that would only return at the next (never-arriving) block
+  // boundary. Before the fix this test hung until the ctest timeout.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string burst;
+  for (int i = 1; i <= 20; ++i) burst += std::to_string(i) + "\n";
+  ASSERT_EQ(::write(fds[1], burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+
+  std::vector<exec::ExecStage> stages;
+  stages.push_back(streamable_stage("head -n 5"));
+  exec::ThreadPool pool(2);
+  StreamConfig config;
+  config.parallelism = 2;
+  std::string output;
+  Sink sink = [&output](std::string_view bytes) {
+    output.append(bytes);
+    return true;
+  };
+  StreamResult r = run_streaming_fd(stages, fds[0], sink, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, "1\n2\n3\n4\n5\n");
+  ::close(fds[1]);
+  ::close(fds[0]);
 }
 
 TEST(StreamChain, PrefixEarlyExitCancelsParallelUpstream) {
