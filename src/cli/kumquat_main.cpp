@@ -88,7 +88,8 @@ struct CompiledPipeline {
   std::vector<exec::ExecStage> stages;
 };
 
-std::optional<CompiledPipeline> compile_line(const std::string& pipeline) {
+std::optional<CompiledPipeline> compile_line(const std::string& pipeline,
+                                             bool rewrite) {
   std::string error;
   auto parsed = compile::parse_pipeline(pipeline, &error);
   if (!parsed) {
@@ -97,13 +98,17 @@ std::optional<CompiledPipeline> compile_line(const std::string& pipeline) {
   }
   static synth::SynthesisCache cache;
   CompiledPipeline out{compile::compile_pipeline(*parsed, cache), {}};
+  // Whole-pipeline rewrites (sort|head -> bounded top-n) run before
+  // combiner elimination: a fused stage is sequential and ends an
+  // elimination chain. --no-rewrite restores the per-stage plan.
+  if (rewrite) compile::rewrite_bounded_windows(out.plan);
   compile::eliminate_intermediate_combiners(out.plan);
   out.stages = compile::lower_plan(out.plan);
   return out;
 }
 
-int cmd_compile(const std::string& pipeline) {
-  auto compiled = compile_line(pipeline);
+int cmd_compile(const std::string& pipeline, bool rewrite) {
+  auto compiled = compile_line(pipeline, rewrite);
   if (!compiled) return 2;
   std::cout << "plan: " << compiled->plan.parallelized() << "/"
             << compiled->plan.total() << " stages parallel, "
@@ -119,12 +124,17 @@ int cmd_compile(const std::string& pipeline) {
                       : "none")
               << "\n    mode:     "
               << (!stage.parallel
-                      ? (stage.sequential_rerun
-                             ? "sequential (rerun does not reduce)"
-                             : "sequential")
+                      ? (!stage.rewritten_from.empty()
+                             ? "sequential (fused bounded window)"
+                             : (stage.sequential_rerun
+                                    ? "sequential (rerun does not reduce)"
+                                    : "sequential"))
                       : (stage.eliminate ? "parallel (combiner eliminated)"
                                          : "parallel"))
-              << "\n    memory:   "
+              << "\n";
+    if (!stage.rewritten_from.empty())
+      std::cout << "    rewritten-from: " << stage.rewritten_from << "\n";
+    std::cout << "    memory:   "
               << exec::memory_class_name(lowered.memory_class) << "\n";
   }
   return 0;
@@ -132,8 +142,8 @@ int cmd_compile(const std::string& pipeline) {
 
 int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
             std::size_t block_size, std::size_t spill_threshold,
-            char delimiter) {
-  auto compiled = compile_line(pipeline);
+            char delimiter, bool rewrite) {
+  auto compiled = compile_line(pipeline, rewrite);
   if (!compiled) return 2;
   exec::ThreadPool pool(k);
 
@@ -231,8 +241,9 @@ std::size_t parse_block_size(const char* text) {
 void usage() {
   std::cerr << "usage:\n"
                "  kumquat synthesize '<command>'\n"
-               "  kumquat compile '<pipeline>'\n"
-               "  kumquat run [-k N] [--no-opt] [--stream|--batch]\n"
+               "  kumquat compile [--no-rewrite] '<pipeline>'\n"
+               "  kumquat run [-k N] [--no-opt] [--no-rewrite] "
+               "[--stream|--batch]\n"
                "              [--block-size N[K|M|G]] "
                "[--spill-threshold N[K|M|G]|0]\n"
                "              [--delimiter C] '<pipeline>'  (stdin -> "
@@ -244,7 +255,12 @@ void usage() {
                "  to disk; 0 disables spilling. --delimiter sets the record\n"
                "  byte the streaming reader realigns on (default \\n; accepts\n"
                "  \\t \\n \\0 escapes). --batch selects the in-memory staged\n"
-               "  runner, which ignores the streaming-only flags.\n";
+               "  runner, which ignores the streaming-only flags.\n"
+               "\n"
+               "  compile and run fuse bounded top-N patterns by default\n"
+               "  ('sort | head -n N', 'uniq -c | sort -rn | head -n K')\n"
+               "  into O(N) window stages; --no-rewrite keeps the original\n"
+               "  per-stage plan.\n";
 }
 
 }  // namespace
@@ -256,11 +272,38 @@ int main(int argc, char** argv) {
   }
   std::string verb = argv[1];
   if (verb == "synthesize") return cmd_synthesize(argv[2]);
-  if (verb == "compile") return cmd_compile(argv[2]);
+  if (verb == "compile") {
+    bool rewrite = true;
+    std::string pipeline;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--no-rewrite") == 0) {
+        rewrite = false;
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        // A typo'd flag silently compiled as the pipeline would mislead
+        // anyone comparing rewritten vs unrewritten plans.
+        std::cerr << "kumquat: compile: unknown option " << argv[i] << "\n";
+        return 2;
+      } else if (!pipeline.empty()) {
+        // An unquoted pipeline arrives as several operands; keeping only
+        // the last would silently compile the wrong thing.
+        std::cerr << "kumquat: compile: unexpected operand '" << argv[i]
+                  << "' (quote the pipeline)\n";
+        return 2;
+      } else {
+        pipeline = argv[i];
+      }
+    }
+    if (pipeline.empty()) {
+      usage();
+      return 2;
+    }
+    return cmd_compile(pipeline, rewrite);
+  }
   if (verb == "run") {
     int k = 4;
     bool optimize = true;
     bool streaming = true;
+    bool rewrite = true;
     std::size_t block_size = 1 << 20;
     std::size_t spill_threshold = 64 << 20;
     char delimiter = '\n';
@@ -270,6 +313,8 @@ int main(int argc, char** argv) {
         k = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--no-opt") == 0) {
         optimize = false;
+      } else if (std::strcmp(argv[i], "--no-rewrite") == 0) {
+        rewrite = false;
       } else if (std::strcmp(argv[i], "--stream") == 0) {
         streaming = true;
       } else if (std::strcmp(argv[i], "--batch") == 0) {
@@ -294,6 +339,15 @@ int main(int argc, char** argv) {
           std::cerr << "kumquat: " << error << "\n";
           return 2;
         }
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        // A typo'd --no-rewrite silently running WITH the rewrite would
+        // make an A/B comparison pass vacuously.
+        std::cerr << "kumquat: run: unknown option " << argv[i] << "\n";
+        return 2;
+      } else if (!pipeline.empty()) {
+        std::cerr << "kumquat: run: unexpected operand '" << argv[i]
+                  << "' (quote the pipeline)\n";
+        return 2;
       } else {
         pipeline = argv[i];
       }
@@ -303,7 +357,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_run(pipeline, k, optimize, streaming, block_size,
-                   spill_threshold, delimiter);
+                   spill_threshold, delimiter, rewrite);
   }
   usage();
   return 2;

@@ -1,5 +1,11 @@
 #include "compile/optimize.h"
 
+#include <string>
+
+#include "unixcmd/builtins.h"
+#include "unixcmd/sort_cmd.h"
+#include "unixcmd/topn.h"
+
 namespace kq::compile {
 
 int eliminate_intermediate_combiners(Plan& plan) {
@@ -17,6 +23,86 @@ int eliminate_intermediate_combiners(Plan& plan) {
     ++eliminated;
   }
   return eliminated;
+}
+
+namespace {
+
+// The sort spec of a built-in `sort` stage usable as a top-n comparator
+// (merge-mode sort never reaches a plan: make_sort rejects it).
+std::shared_ptr<const cmd::SortSpec> sort_stage_spec(const PlannedStage& s) {
+  if (!s.command) return nullptr;
+  return cmd::sort_spec_of(*s.command);
+}
+
+// The line count of a `head` stage eligible for fusion (line mode only —
+// a byte-mode head cuts mid-record, which no sorted window reproduces).
+std::optional<long> head_stage_count(const PlannedStage& s) {
+  if (!s.command) return std::nullopt;
+  return cmd::head_line_count(*s.command);
+}
+
+PlannedStage make_fused_stage(const Plan& plan, std::size_t first,
+                              std::size_t count, cmd::CommandPtr command) {
+  PlannedStage fused;
+  std::string from;
+  for (std::size_t j = first; j < first + count; ++j) {
+    if (!from.empty()) from += " | ";
+    from += plan.stages[j].parsed.display;
+  }
+  fused.parsed.display = command->display_name();
+  fused.command = std::move(command);
+  fused.rewritten_from = std::move(from);
+  return fused;  // sequential, no synthesis: lowers to kWindowStream
+}
+
+}  // namespace
+
+int rewrite_bounded_windows(Plan& plan) {
+  int fused = 0;
+  std::vector<PlannedStage> out;
+  out.reserve(plan.stages.size());
+  std::size_t i = 0;
+  while (i < plan.stages.size()) {
+    // uniq … | sort <spec> | head -n N  ->  one bounded top-k stage.
+    if (i + 2 < plan.stages.size() && plan.stages[i].command &&
+        cmd::is_uniq_command(*plan.stages[i].command)) {
+      auto spec = sort_stage_spec(plan.stages[i + 1]);
+      auto n = head_stage_count(plan.stages[i + 2]);
+      if (spec && n) {
+        std::string display = "top-k(" + std::to_string(*n) + "): " +
+                              plan.stages[i].parsed.display + " | " +
+                              plan.stages[i + 1].parsed.display;
+        out.push_back(make_fused_stage(
+            plan, i, 3,
+            cmd::make_window_top_n_command(plan.stages[i].command,
+                                           std::move(spec), *n,
+                                           std::move(display))));
+        ++fused;
+        i += 3;
+        continue;
+      }
+    }
+    // sort <spec> | head -n N  ->  one bounded top-n stage.
+    if (i + 1 < plan.stages.size()) {
+      auto spec = sort_stage_spec(plan.stages[i]);
+      auto n = head_stage_count(plan.stages[i + 1]);
+      if (spec && n) {
+        std::string display = "top-n(" + std::to_string(*n) + "): " +
+                              plan.stages[i].parsed.display;
+        out.push_back(make_fused_stage(
+            plan, i, 2,
+            cmd::make_top_n_command(std::move(spec), *n,
+                                    std::move(display))));
+        ++fused;
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(plan.stages[i]);
+    ++i;
+  }
+  if (fused > 0) plan.stages = std::move(out);
+  return fused;
 }
 
 }  // namespace kq::compile

@@ -1,7 +1,25 @@
-// Intermediate-combiner elimination (§3.5, Theorem 5): when a parallel
-// stage's combiner is concatenation and its outputs are newline-terminated
-// streams, the combiner can be dropped and the output substreams fed
-// directly into the next parallel stage's input substreams.
+// Whole-pipeline optimizations over the compiled plan. Two passes:
+//
+//   - Intermediate-combiner elimination (§3.5, Theorem 5): when a parallel
+//     stage's combiner is concatenation and its outputs are
+//     newline-terminated streams, the combiner can be dropped and the
+//     output substreams fed directly into the next parallel stage's input
+//     substreams.
+//
+//   - Bounded-window rewriting (the PaSh-style observation that
+//     whole-pipeline rewrites beat per-command parallelization): adjacent
+//     stages whose composition needs only a bounded window of state are
+//     replaced by one fused kWindow stage (src/unixcmd/topn.*):
+//
+//       sort <spec> | head -n N           ->  top-n(N) of sort <spec>
+//       uniq … | sort <spec> | head -n N  ->  top-k(N) of uniq … | sort
+//
+//     O(N) resident state instead of materializing or external-merge-
+//     sorting the whole input; output byte-identical by construction (the
+//     fused window reproduces stable_sort order, -u dedup, and head's
+//     bound — see topn.h). The pass is semantics-preserving for *any*
+//     input, sorted or not: the top-k form keeps uniq's run semantics by
+//     composing uniq's own window processor in front of the top-n window.
 #pragma once
 
 #include "compile/plan.h"
@@ -10,5 +28,12 @@ namespace kq::compile {
 
 // Marks eliminable stages in-place; returns the number eliminated.
 int eliminate_intermediate_combiners(Plan& plan);
+
+// Replaces matching stage runs with fused bounded top-n/top-k stages
+// (annotated via PlannedStage::rewritten_from); returns the number of
+// fused stages created. Run before eliminate_intermediate_combiners —
+// fused stages are sequential and end elimination chains. The CLI's
+// --no-rewrite skips this pass.
+int rewrite_bounded_windows(Plan& plan);
 
 }  // namespace kq::compile

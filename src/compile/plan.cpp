@@ -3,6 +3,7 @@
 #include "dsl/ast.h"
 #include "unixcmd/registry.h"
 #include "unixcmd/sort_cmd.h"
+#include "unixcmd/topn.h"
 
 namespace kq::compile {
 
@@ -46,6 +47,19 @@ Plan compile_pipeline(const ParsedPipeline& parsed,
         stage.parallel = false;
       } else {
         stage.parallel = true;
+      }
+      // Probe-coverage guard: a command whose declared scale bound (a
+      // head/tail count, a sed line address) exceeds every certification
+      // probe (synth::kProbeCountCap) is observationally identical to its
+      // below-bound twin — `tail -n 1000000` looks like cat, `sed 5000d`
+      // like an unaddressed script — so the certified combiner is wrong
+      // exactly on the inputs too big to probe. Keep such stages
+      // sequential; their declared streaming lowering is exact at any
+      // size.
+      auto bound = stage.command->scale_bound();
+      if (bound && *bound > synth::kProbeCountCap) {
+        stage.parallel = false;
+        stage.sequential_rerun = false;
       }
     }
     plan.stages.push_back(std::move(stage));
@@ -114,7 +128,12 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
       stage.memory_class = exec::MemoryClass::kStatelessStream;
     } else if (streamable == cmd::Streamability::kWindow && !stage.parallel) {
       stage.memory_class = exec::MemoryClass::kWindowStream;
-      stage.sort_spec = cmd::sort_spec_of(*p.command);  // null unless sort -u
+      // The comparator an outsized window spills sorted runs under: the
+      // command's own spec for sort -u, the fused spec for a rewritten
+      // top-n/top-k stage, null (no spill) for tail -n/uniq/wc.
+      stage.sort_spec = cmd::sort_spec_of(*p.command);
+      if (!stage.sort_spec)
+        stage.sort_spec = cmd::fused_sort_spec_of(*p.command);
     } else if (stage.parallel && primary &&
                primary->node->op == dsl::Op::kMerge && primary->merge_spec) {
       stage.memory_class = exec::MemoryClass::kSortableSpill;

@@ -29,6 +29,11 @@ struct PlannedStage {
   bool parallel = false;
   bool sequential_rerun = false;  // combiner exists but stage kept serial
   bool eliminate = false;         // set by the optimizer (Theorem 5)
+  // Set by the pipeline-rewrite pass (rewrite_bounded_windows): the
+  // original stage chain this fused stage replaced, " | "-joined (empty
+  // for ordinary stages). `kumquat compile` prints it as the
+  // `rewritten-from:` annotation.
+  std::string rewritten_from;
 };
 
 struct Plan {

@@ -27,6 +27,12 @@ using KWayCombine =
 
 // How much of its input a stage must hold at once — drives the streaming
 // runtime's node choice (src/stream/dataflow.cpp) and when it may spill.
+// Each enumerator documents its tier's contract: what bounds the resident
+// state, and what the executor may assume about record alignment and
+// end-of-input semantics. Assigned by compile::lower_plan; the executor
+// re-checks at runtime (a plan-parallel stage forced sequential at k=1
+// falls back to its declared sequential tier). Prose walkthrough:
+// docs/ARCHITECTURE.md.
 enum class MemoryClass {
   // Bounded by construction: chunk outputs stream through (concat
   // emission) or fold into an accumulator of output size.
@@ -50,12 +56,15 @@ enum class MemoryClass {
   // Declared window-bounded (cmd::Streamability::kWindow): the command
   // needs the whole input but holds only a bounded window of state — tail
   // -n N its ring of N records, uniq its current run, wc its counters,
-  // sort -u its distinct set — absorbed per block through a
+  // sort -u its distinct set, a fused top-n/top-k rewrite stage its N
+  // records under the sort comparator — absorbed per block through a
   // cmd::WindowProcessor and flushed at end of input via finish(). Runs as
   // the *terminal* stage of a fused stream chain (finish() reorders
-  // emission, so nothing fuses after it); a sort -u window that outgrows
-  // the spill threshold exports sorted runs to disk (sort_spec carries the
-  // comparator). Assigned to sequential kWindow stages.
+  // emission, so nothing fuses after it); a window that outgrows the spill
+  // threshold and declares drain_sorted_run (sort -u, top-n) exports
+  // sorted runs to disk (sort_spec carries the comparator) and re-streams
+  // the external merge, capped at the window's output_limit(). Assigned to
+  // sequential kWindow stages.
   kWindowStream,
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "regex/regex.h"
+#include "unixcmd/builtins.h"
 
 namespace kq::prep {
 namespace {
@@ -23,7 +24,9 @@ void scan_sed_script(const std::string& script, std::uint64_t seed,
   while (i < script.size() &&
          std::isdigit(static_cast<unsigned char>(script[i])))
     ++i;
-  if (i > 0) out.numbers.push_back(std::stol(script.substr(0, i)));
+  // Saturating parse: a user can write `sed 99999999999999999999q` and a
+  // throwing std::stol would abort synthesis instead of probing "huge".
+  if (i > 0) out.numbers.push_back(*cmd::parse_count(script.substr(0, i)));
   if (i < script.size() && script[i] == 's' && i + 1 < script.size()) {
     char delim = script[i + 1];
     std::size_t start = i + 2;
@@ -52,9 +55,11 @@ void scan_numbers(const std::string& word, CommandLiterals& out) {
       while (i < word.size() &&
              std::isdigit(static_cast<unsigned char>(word[i])))
         ++i;
-      // Skip degenerate single digits used as awk truthy patterns.
+      // Skip degenerate single digits used as awk truthy patterns. The
+      // parse saturates: `head -c 99999999999999999999` probes LONG_MAX
+      // rather than throwing out_of_range mid-synthesis.
       if (i - start >= 1) {
-        long v = std::stol(word.substr(start, i - start));
+        long v = *cmd::parse_count(word.substr(start, i - start));
         if (v > 1) out.numbers.push_back(v);
       }
     } else {

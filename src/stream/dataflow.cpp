@@ -787,17 +787,46 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
     }
     if (window && flushed_ok && !shared.halted()) {
       if (merger) {
-        // Spilled window: the resident remainder becomes the final sorted
-        // run, and the external k-way merge re-streams the result.
-        std::string last;
+        // Spilled window: seal any cross-record residue into the window
+        // state (a fused top-k's pending uniq run; plain windows no-op),
+        // the resident remainder becomes the final sorted run, and the
+        // external k-way merge re-streams the result — capped at the
+        // window's output limit (a fused top-n emits only its first N
+        // records of the merged union).
+        std::string sealed;
+        window->seal(&sealed);
         bool ok = true;
-        if (window->drain_sorted_run(&last) && !last.empty())
+        if (!sealed.empty()) {
+          const std::size_t pushed = sealed.size();
+          ok = push(std::move(sealed));
+          if (ok) metrics.out_bytes += pushed;
+        }
+        std::string last;
+        if (ok && window->drain_sorted_run(&last) && !last.empty())
           ok = merger->add(std::move(last));
+        const std::optional<std::size_t> limit = window->output_limit();
+        std::size_t remaining = limit.value_or(0);
         if (ok)
           ok = merger->finish(
               [&](std::string&& block) {
+                bool more = true;
+                if (limit) {
+                  // Trim to the first `remaining` records. Merged blocks
+                  // are record-aligned, so counting '\n' is exact.
+                  std::size_t pos = 0, records = 0;
+                  while (pos < block.size() && records < remaining) {
+                    std::size_t nl = block.find('\n', pos);
+                    pos = nl == std::string::npos ? block.size() : nl + 1;
+                    ++records;
+                  }
+                  block.resize(pos);
+                  remaining -= records;
+                  more = remaining > 0;
+                }
+                if (block.empty()) return more;
                 metrics.out_bytes += block.size();
-                return push(std::move(block));
+                if (!push(std::move(block))) return false;
+                return more;
               },
               config.block_size);
         if (!ok && !shared.halted() && !out_closed())

@@ -17,12 +17,15 @@
 //     BlockReader stops reading: `head -n 10` costs O(blocks), not
 //     O(input);
 //   - window-bounded stages (exec::MemoryClass::kWindowStream: tail -n N,
-//     uniq, wc, sort -u) absorb blocks into a cmd::WindowProcessor and
-//     flush the residue at end of input, holding O(window) instead of
-//     materializing; a window stage fuses as the *terminal* member of a
-//     stream chain (its finish() reorders emission, so nothing fuses after
-//     it), and a sort -u window past the spill threshold exports sorted
-//     runs through the external merge;
+//     uniq, wc, sort -u, and the fused top-n/top-k rewrite stages from
+//     compile::rewrite_bounded_windows) absorb blocks into a
+//     cmd::WindowProcessor and flush the residue at end of input, holding
+//     O(window) instead of materializing; a window stage fuses as the
+//     *terminal* member of a stream chain (its finish() reorders emission,
+//     so nothing fuses after it), and a window past the spill threshold
+//     (sort -u's distinct set, a pathological-N top-n) exports sorted runs
+//     through the external merge — sealed first so cross-record residue
+//     survives, and re-streamed capped at the window's output limit;
 //   - all pipeline segments run concurrently instead of in stage barriers;
 //   - combining is incremental: each segment's combiner folds chunk
 //     outputs as they arrive in input order (doubling group sizes keep the

@@ -53,7 +53,7 @@ SynthesisResult synthesize(const cmd::Command& f,
   // shape straddles it so both behaviours of the command are exercised.
   std::vector<shape::Shape> number_shapes;
   for (long n : literals.numbers)
-    if (n > 1 && n <= 4096)
+    if (n > 1 && n <= kProbeCountCap)
       number_shapes.push_back(shape::seed_shape_near_count(n));
 
   std::vector<shape::InputPair> seed_pairs;

@@ -26,6 +26,15 @@
 
 namespace kq::synth {
 
+// Largest numeric literal the seed-input generator straddles
+// (seed_shape_near_count in synthesize.cpp): a command whose behavior
+// changes only past this bound looks identical to its below-bound twin on
+// every observation, so certification is statistically blind there. The
+// planner (compile_pipeline) consults this to keep such stages sequential
+// — e.g. `tail -n 1000000` certifies a concat combiner that is simply
+// `cat` at probe scale and wrong past the window.
+inline constexpr long kProbeCountCap = 4096;
+
 struct SynthesisConfig {
   int max_ops = 5;            // candidate size bound (|g| <= max_ops + 2)
   int max_rounds = 5;         // r limit in Algorithm 1

@@ -48,4 +48,15 @@ CommandPtr make_fmt(const Argv& argv, std::string* error);
 CommandPtr make_rev(const Argv& argv, std::string* error);
 CommandPtr make_iconv(const Argv& argv, std::string* error);
 
+// The line count of a built-in `head -n N` (or `head -N` / bare `head`)
+// instance; nullopt when `command` is not one or runs in -c byte mode.
+// Lets the pipeline-rewrite pass (compile::rewrite_bounded_windows) match
+// `sort | head -n N` without re-parsing argv.
+std::optional<long> head_line_count(const Command& command);
+
+// True iff `command` is the built-in uniq (any flag combination). The
+// rewrite pass fuses `uniq … | sort | head -n K` into one bounded top-k
+// node; uniq qualifies because its window is O(1) — the current run.
+bool is_uniq_command(const Command& command);
+
 }  // namespace kq::cmd

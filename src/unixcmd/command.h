@@ -8,8 +8,10 @@
 // `execute` concurrently from multiple worker threads on one instance.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +36,14 @@ struct Result {
 // whole input — the order-aware-dataflow / PaSh notion of a pure
 // stateless/streaming command, declared rather than inferred because the
 // built-ins know their own semantics.
+//
+// The contract every tier shares: blocks are *record-aligned* — each block
+// the runtime feeds ends at a record boundary (the final block may not),
+// and each block a processor emits must end at a record boundary too,
+// except the emission that is genuinely the end of its output stream. A
+// command whose output can break that alignment (tr -d '\n' deletes the
+// delimiter) must declare kNone. See docs/ARCHITECTURE.md for how the
+// executor maps each tier onto a dataflow node.
 enum class Streamability {
   // Black box: the command may need the whole input at once.
   kNone,
@@ -60,9 +70,19 @@ enum class Streamability {
 // Stateful per-block executor behind a streamable command. One processor
 // serves exactly one stream: the runtime feeds record-aligned blocks in
 // input order and concatenates the appended outputs, which must equal
-// execute() over the concatenated blocks. Unlike Command (shared across
-// worker threads), a processor is owned by a single dataflow node and need
-// not be thread-safe.
+// execute() over the concatenated blocks.
+//
+// Contract (kPerRecord / kPrefix):
+//   - input blocks arrive record-aligned and in order; outputs must stay
+//     record-aligned (only the final emission may end mid-record, and only
+//     because the output stream genuinely ends there);
+//   - state carried across blocks must be bounded by the command's own
+//     constants (a squeeze run, a skip counter, a remaining-count), never
+//     by the input size — unbounded state belongs in a WindowProcessor;
+//   - finish() emits any end-of-input tail; after finish() the processor
+//     is spent.
+// Unlike Command (shared across worker threads), a processor is owned by a
+// single dataflow node and need not be thread-safe.
 class StreamProcessor {
  public:
   virtual ~StreamProcessor() = default;
@@ -83,8 +103,23 @@ class StreamProcessor {
 // during push() (uniq's completed runs), everything still held in the
 // window flushes at end of input through finish(). The concatenation of all
 // push() outputs followed by the finish() emission must equal execute()
-// over the concatenated blocks. Owned by a single dataflow node; need not
-// be thread-safe.
+// over the concatenated blocks.
+//
+// Contract (kWindow):
+//   - input blocks arrive record-aligned and in order; push() emissions
+//     must stay record-aligned, and finish()'s pieces must each end at a
+//     record boundary except the last (an unterminated final record is the
+//     command's own stream end, as in GNU tail);
+//   - the resident window must be bounded by the command's semantics
+//     (tail's N records, uniq's one run, top-n's N entries), and
+//     state_bytes() must report it honestly — it is the runtime's spill
+//     trigger and the denominator of every O(window) memory claim;
+//   - finish() is single-shot and terminal; a window stage therefore ends
+//     a fused stream chain (its emission order is finish()'s, not the
+//     input's);
+//   - drain_sorted_run()/seal()/output_limit() exist for the spill path
+//     and default to "unsupported"/no-op/unlimited — see each below.
+// Owned by a single dataflow node; need not be thread-safe.
 class WindowProcessor {
  public:
   // Receives finish()'s residue in record-aligned pieces; returns false to
@@ -107,13 +142,32 @@ class WindowProcessor {
   virtual std::size_t state_bytes() const = 0;
 
   // For windows whose state is itself a sorted stream under the owning
-  // stage's comparator (sort -u's distinct set): moves the state into *out
-  // as a newline-terminated sorted stream and resets the window, so the
-  // runtime can spill it as one sorted run and keep the window bounded by
-  // the spill threshold. Default: unsupported.
+  // stage's comparator (sort -u's distinct set, top-n's bounded heap):
+  // moves the state into *out as a newline-terminated sorted stream and
+  // resets the window, so the runtime can spill it as one sorted run and
+  // keep the window bounded by the spill threshold. Default: unsupported
+  // (the runtime then keeps the window resident).
   virtual bool drain_sorted_run(std::string* out) {
     (void)out;
     return false;
+  }
+
+  // Called once at end of input, before the *final* drain_sorted_run on
+  // the spill path: absorbs any cross-record residue that normally flushes
+  // inside finish() into the window state (a fused top-k's pending uniq
+  // run), appending output the sealing finalizes to *out. Plain windows
+  // have no such residue; the default is a no-op. Never called when
+  // finish() will run — finish() subsumes it.
+  virtual void seal(std::string* out) { (void)out; }
+
+  // For windows whose output is a bounded prefix of their merged sorted
+  // state (top-n emits only its first N records): the maximum number of
+  // records finish() may emit. The runtime caps the external merge's
+  // re-streamed emission at this many records when the window spilled;
+  // nullopt means unlimited. Must agree with finish(), which enforces the
+  // same bound on the unspilled path itself.
+  virtual std::optional<std::size_t> output_limit() const {
+    return std::nullopt;
   }
 };
 
@@ -137,6 +191,16 @@ class Command {
   // otherwise. Must agree with the processor factories: stream_processor()
   // is non-null iff kPerRecord/kPrefix, window_processor() iff kWindow.
   virtual Streamability streamability() const { return Streamability::kNone; }
+
+  // The largest input scale (in records or bytes) at which this command's
+  // behavior changes, parsed from its own arguments — head/tail counts,
+  // sed line addresses — or nullopt when behavior is scale-free.
+  // Certification probes straddle numeric literals only up to
+  // synth::kProbeCountCap, so the planner keeps a stage whose bound
+  // exceeds every probe sequential: below the bound such a command is
+  // indistinguishable from `cat`, and a combiner certified purely on
+  // those observations is wrong exactly on the inputs too big to probe.
+  virtual std::optional<long> scale_bound() const { return std::nullopt; }
 
   // A fresh per-stream processor for a streamable command (the instance
   // must outlive the processor). Null for kNone and kWindow commands.

@@ -1,21 +1,24 @@
-// Built-in `head` and `tail`. head: default 10 lines, -N, -n N.
-// tail: -n N (last N lines), +N / -n +N (from line N onward, the form whose
-// combiner provably does not exist — Table 9).
+// Built-in `head` and `tail`. head: default 10 lines, -N, -n N, and -c N
+// (first N bytes). tail: -n N (last N lines), +N / -n +N (from line N
+// onward, the form whose combiner provably does not exist — Table 9),
+// -c N (last N bytes), -c +N (from byte N onward).
 //
-// Both preserve a missing final newline: like GNU head/tail they copy the
-// input's bytes, so an unterminated last line stays unterminated (the old
-// code re-terminated every emitted line). Counts parse through the shared
-// saturating parse_count, so `head -n 99999999999999999999` means "all of
-// it" instead of signed-overflow garbage.
+// All forms preserve a missing final newline: like GNU head/tail they copy
+// the input's bytes, so an unterminated last line stays unterminated (the
+// old code re-terminated every emitted line). Counts — line and byte modes
+// alike — parse through the shared saturating parse_count, so `head -c
+// 99999999999999999999` means "all of it" instead of signed-overflow
+// garbage, and malformed counts reject the command loudly.
 //
 // head is the canonical prefix-bounded streamable command: its processor
 // reports done once the count is satisfied, which lets the streaming
 // runtime cancel the upstream graph — `head -n 10` over a multi-GiB input
-// reads O(blocks), not the whole file. `tail +N` streams too (skip a
-// bounded prefix, then pass through); `tail -n N` needs the end of the
-// input but only the last N records of it at any moment, so it is the
-// canonical *window*-bounded command: a ring buffer of N records absorbs
-// blocks and flushes at end of input (cmd::Streamability::kWindow).
+// reads O(blocks), not the whole file (`head -c N` exits after N bytes the
+// same way). `tail +N` / `tail -c +N` stream too (skip a bounded prefix,
+// then pass through); `tail -n N` / `tail -c N` need the end of the input
+// but only the last N records/bytes of it at any moment, so they are
+// window-bounded (cmd::Streamability::kWindow): a bounded ring absorbs
+// blocks and flushes at end of input.
 
 #include <algorithm>
 #include <deque>
@@ -59,12 +62,41 @@ class HeadStreamProcessor final : public StreamProcessor {
   long remaining_;
 };
 
+// `head -c N`: pass bytes through until the budget is spent. Every
+// emission but the last is a whole record-aligned input block, and the
+// last is the genuine end of the output stream, so byte mode is safe
+// inside a fused stream chain.
+class HeadBytesStreamProcessor final : public StreamProcessor {
+ public:
+  explicit HeadBytesStreamProcessor(long n)
+      : remaining_(n > 0 ? static_cast<std::size_t>(n) : 0) {}
+
+  bool process(std::string_view block, std::string* out) override {
+    if (remaining_ == 0) return false;
+    std::size_t take = std::min(block.size(), remaining_);
+    out->append(block.substr(0, take));
+    remaining_ -= take;
+    return remaining_ > 0;
+  }
+
+ private:
+  std::size_t remaining_;
+};
+
 class HeadCommand final : public Command {
  public:
-  HeadCommand(std::string name, long n) : Command(std::move(name)), n_(n) {}
+  HeadCommand(std::string name, long n, bool bytes)
+      : Command(std::move(name)), n_(n), bytes_(bytes) {}
 
   Result execute(std::string_view input) const override {
     std::string out;
+    if (bytes_) {
+      std::size_t take = input.size();
+      if (n_ >= 0 && static_cast<unsigned long>(n_) < input.size())
+        take = static_cast<std::size_t>(n_);
+      out.assign(input.substr(0, take));
+      return {std::move(out), 0, {}};
+    }
     auto ls = text::lines(input);
     std::size_t take =
         n_ < static_cast<long>(ls.size()) && n_ >= 0
@@ -78,11 +110,18 @@ class HeadCommand final : public Command {
     return Streamability::kPrefix;
   }
   std::unique_ptr<StreamProcessor> stream_processor() const override {
+    if (bytes_) return std::make_unique<HeadBytesStreamProcessor>(n_);
     return std::make_unique<HeadStreamProcessor>(n_);
   }
 
+  std::optional<long> scale_bound() const override { return n_; }
+
+  long count() const { return n_; }
+  bool bytes_mode() const { return bytes_; }
+
  private:
   long n_;
+  bool bytes_;
 };
 
 // `tail +N`: drop the first N-1 lines, then pass records through — a
@@ -108,6 +147,29 @@ class TailFromStreamProcessor final : public StreamProcessor {
 
  private:
   long skip_;
+};
+
+// `tail -c +N`: drop the first N-1 bytes, then pass through. The first
+// emission may start mid-record — that partial piece is the genuine start
+// of the output stream (exactly GNU's), and it still ends at its block's
+// record boundary, so downstream stages stay aligned.
+class TailFromByteStreamProcessor final : public StreamProcessor {
+ public:
+  explicit TailFromByteStreamProcessor(long from_byte)
+      : skip_(from_byte > 0 ? static_cast<std::size_t>(from_byte) - 1 : 0) {}
+
+  bool process(std::string_view block, std::string* out) override {
+    if (skip_ >= block.size()) {
+      skip_ -= block.size();
+      return true;
+    }
+    out->append(block.substr(skip_));
+    skip_ = 0;
+    return true;
+  }
+
+ private:
+  std::size_t skip_;
 };
 
 // `tail -n N`: a ring buffer of the last N records — the window is N lines,
@@ -177,16 +239,78 @@ class TailLastWindowProcessor final : public WindowProcessor {
   bool terminated_ = true;
 };
 
+// `tail -c N`: the last N bytes, as a rolling byte window. The flushed
+// stream may start mid-record (GNU's exact bytes); finish() still cuts its
+// pieces at record boundaries so downstream re-blocking stays aligned.
+class TailBytesWindowProcessor final : public WindowProcessor {
+ public:
+  explicit TailBytesWindowProcessor(long n)
+      : limit_(n > 0 ? static_cast<std::size_t>(n) : 0) {}
+
+  void push(std::string_view block, std::string* out) override {
+    (void)out;
+    if (limit_ == 0 || block.empty()) return;
+    if (block.size() >= limit_) {
+      buf_.assign(block.substr(block.size() - limit_));
+      return;
+    }
+    buf_.append(block);
+    // Amortized trim: let the buffer run to twice the window before
+    // cutting back — erasing the front per block would memmove the whole
+    // window every block (quadratic in input for a large -c N).
+    if (buf_.size() > 2 * limit_) buf_.erase(0, buf_.size() - limit_);
+  }
+
+  void finish(const Sink& sink) override {
+    std::string_view rest = buf_;
+    if (rest.size() > limit_) rest.remove_prefix(rest.size() - limit_);
+    while (rest.size() > kFlushBytes) {
+      std::size_t cut = rest.rfind('\n', kFlushBytes - 1);
+      if (cut == std::string_view::npos) {
+        cut = rest.find('\n', kFlushBytes);
+        if (cut == std::string_view::npos) break;  // one giant record
+      }
+      if (!sink(rest.substr(0, cut + 1))) return;
+      rest.remove_prefix(cut + 1);
+    }
+    if (!rest.empty()) sink(rest);
+  }
+
+  std::size_t state_bytes() const override { return buf_.size(); }
+
+ private:
+  static constexpr std::size_t kFlushBytes = 64 << 10;
+  const std::size_t limit_;
+  std::string buf_;
+};
+
 class TailCommand final : public Command {
  public:
-  // from_line > 0: `tail +N` (output starting at line N).
-  // last_n >= 0: `tail -n N` (output the final N lines).
-  TailCommand(std::string name, long from_line, long last_n)
-      : Command(std::move(name)), from_line_(from_line), last_n_(last_n) {}
+  // from_line > 0: `tail +N` (output starting at line/byte N).
+  // last_n >= 0: `tail -n N` / `tail -c N` (output the final N lines/bytes).
+  TailCommand(std::string name, long from_line, long last_n, bool bytes)
+      : Command(std::move(name)),
+        from_line_(from_line),
+        last_n_(last_n),
+        bytes_(bytes) {}
 
   Result execute(std::string_view input) const override {
-    auto ls = text::lines(input);
     std::string out;
+    if (bytes_) {
+      if (from_line_ > 0) {
+        std::size_t begin = input.size();
+        if (static_cast<unsigned long>(from_line_ - 1) < input.size())
+          begin = static_cast<std::size_t>(from_line_ - 1);
+        out.assign(input.substr(begin));
+      } else {
+        std::size_t take = input.size();
+        if (last_n_ >= 0 && static_cast<unsigned long>(last_n_) < input.size())
+          take = static_cast<std::size_t>(last_n_);
+        out.assign(input.substr(input.size() - take));
+      }
+      return {std::move(out), 0, {}};
+    }
+    auto ls = text::lines(input);
     std::size_t begin = 0;
     if (from_line_ > 0) {
       begin = static_cast<std::size_t>(from_line_ - 1);
@@ -203,35 +327,62 @@ class TailCommand final : public Command {
   }
   std::unique_ptr<StreamProcessor> stream_processor() const override {
     if (from_line_ <= 0) return nullptr;
+    if (bytes_) return std::make_unique<TailFromByteStreamProcessor>(from_line_);
     return std::make_unique<TailFromStreamProcessor>(from_line_);
   }
   std::unique_ptr<WindowProcessor> window_processor() const override {
     if (from_line_ > 0) return nullptr;
+    if (bytes_) return std::make_unique<TailBytesWindowProcessor>(last_n_);
     return std::make_unique<TailLastWindowProcessor>(last_n_);
+  }
+
+  std::optional<long> scale_bound() const override {
+    return from_line_ > 0 ? from_line_ : last_n_;
   }
 
  private:
   long from_line_;
   long last_n_;
+  bool bytes_;
 };
 
 }  // namespace
 
+std::optional<long> head_line_count(const Command& command) {
+  const auto* head = dynamic_cast<const HeadCommand*>(&command);
+  if (head == nullptr || head->bytes_mode()) return std::nullopt;
+  return head->count();
+}
+
 CommandPtr make_head(const Argv& argv, std::string* error) {
   long n = 10;
+  bool bytes = false;
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
-    if (a == "-n") {
+    if (a == "-n" || a == "-c") {
       if (i + 1 >= argv.size()) {
-        if (error) *error = "head: -n needs a count";
+        if (error) *error = "head: " + a + " needs a count";
         return nullptr;
       }
       auto v = parse_count(argv[++i]);
       if (!v) {
-        if (error) *error = "head: bad count";
+        if (error)
+          *error = a == "-c" ? "head: bad byte count" : "head: bad count";
         return nullptr;
       }
       n = *v;
+      bytes = a == "-c";
+    } else if (a.size() > 2 && (a.rfind("-c", 0) == 0 ||
+                                a.rfind("-n", 0) == 0)) {
+      // Bundled counts, GNU-style: head -n5 / head -c5.
+      auto v = parse_count(std::string_view(a).substr(2));
+      if (!v) {
+        if (error)
+          *error = a[1] == 'c' ? "head: bad byte count" : "head: bad count";
+        return nullptr;
+      }
+      n = *v;
+      bytes = a[1] == 'c';
     } else if (a.size() >= 2 && a[0] == '-') {
       auto v = parse_count(a.substr(1));
       if (!v) {
@@ -239,41 +390,57 @@ CommandPtr make_head(const Argv& argv, std::string* error) {
         return nullptr;
       }
       n = *v;
+      bytes = false;
     } else {
       if (error) *error = "head: file operands not supported";
       return nullptr;
     }
   }
-  return std::make_shared<HeadCommand>(argv_to_display(argv), n);
+  return std::make_shared<HeadCommand>(argv_to_display(argv), n, bytes);
 }
 
 CommandPtr make_tail(const Argv& argv, std::string* error) {
   long from_line = 0, last_n = 10;
-  // GNU treats `tail +0` / `tail -n +0` like +1: output the whole input.
+  bool bytes = false;
+  // GNU treats `tail +0` / `tail -n +0` / `tail -c +0` like +1: the whole
+  // input.
   auto from = [](long n) { return n > 0 ? n : 1; };
+  // Applies one count value ("N" or "+N") shared by -n and -c.
+  auto apply = [&](std::string_view v) {
+    if (!v.empty() && v[0] == '+') {
+      auto n = parse_count(v.substr(1));
+      if (!n) return false;
+      from_line = from(*n);
+    } else {
+      auto n = parse_count(v);
+      if (!n) return false;
+      last_n = *n;
+      from_line = 0;
+    }
+    return true;
+  };
   for (std::size_t i = 1; i < argv.size(); ++i) {
     const std::string& a = argv[i];
-    if (a == "-n") {
+    if (a == "-n" || a == "-c") {
       if (i + 1 >= argv.size()) {
-        if (error) *error = "tail: -n needs a count";
+        if (error) *error = "tail: " + a + " needs a count";
         return nullptr;
       }
-      const std::string& v = argv[++i];
-      if (!v.empty() && v[0] == '+') {
-        auto n = parse_count(std::string_view(v).substr(1));
-        if (!n) {
-          if (error) *error = "tail: bad count";
-          return nullptr;
-        }
-        from_line = from(*n);
-      } else {
-        auto n = parse_count(v);
-        if (!n) {
-          if (error) *error = "tail: bad count";
-          return nullptr;
-        }
-        last_n = *n;
+      if (!apply(argv[++i])) {
+        if (error)
+          *error = a == "-c" ? "tail: bad byte count" : "tail: bad count";
+        return nullptr;
       }
+      bytes = a == "-c";
+    } else if (a.size() > 2 && (a.rfind("-c", 0) == 0 ||
+                                a.rfind("-n", 0) == 0)) {
+      // Bundled counts, GNU-style: tail -n5 / tail -c5 / tail -c+13.
+      if (!apply(std::string_view(a).substr(2))) {
+        if (error)
+          *error = a[1] == 'c' ? "tail: bad byte count" : "tail: bad count";
+        return nullptr;
+      }
+      bytes = a[1] == 'c';
     } else if (!a.empty() && a[0] == '+') {
       auto n = parse_count(std::string_view(a).substr(1));
       if (!n) {
@@ -281,6 +448,7 @@ CommandPtr make_tail(const Argv& argv, std::string* error) {
         return nullptr;
       }
       from_line = from(*n);
+      bytes = false;
     } else if (a.size() >= 2 && a[0] == '-') {
       auto n = parse_count(std::string_view(a).substr(1));
       if (!n) {
@@ -288,13 +456,15 @@ CommandPtr make_tail(const Argv& argv, std::string* error) {
         return nullptr;
       }
       last_n = *n;
+      from_line = 0;
+      bytes = false;
     } else {
       if (error) *error = "tail: file operands not supported";
       return nullptr;
     }
   }
   return std::make_shared<TailCommand>(argv_to_display(argv), from_line,
-                                       last_n);
+                                       last_n, bytes);
 }
 
 }  // namespace kq::cmd

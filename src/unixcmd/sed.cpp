@@ -4,6 +4,7 @@
 //   Nd  /  $d                          delete line N / the last line
 // Multiple ';'-separated commands are applied left to right per line.
 
+#include <algorithm>
 #include <cctype>
 #include <optional>
 
@@ -194,6 +195,17 @@ class SedCommand final : public Command {
     return has_quit_ ? Streamability::kPrefix : Streamability::kPerRecord;
   }
   std::unique_ptr<StreamProcessor> stream_processor() const override;
+
+  // A line-addressed command changes behavior at its largest address:
+  // below it `sed 5000q` / `5000d` / `5000s…` are indistinguishable from
+  // cat / the unaddressed script, so certification can be blind past it.
+  std::optional<long> scale_bound() const override {
+    long max_address = 0;
+    for (const SedCommandSpec& spec : cmds_)
+      max_address = std::max(max_address, spec.address);
+    if (max_address == 0) return std::nullopt;
+    return max_address;
+  }
 
  private:
   friend class SedStreamProcessor;

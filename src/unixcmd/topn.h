@@ -1,0 +1,53 @@
+// Fused bounded top-N commands — the targets of the pipeline-rewrite pass
+// (compile::rewrite_bounded_windows):
+//
+//   sort <spec> | head -n N            ->  top-n command (make_top_n_command)
+//   uniq … | sort <spec> | head -n N   ->  top-k command
+//                                          (make_window_top_n_command)
+//
+// A top-n command is a kWindow command whose window is a bounded ordered
+// multiset of at most N records under the sort comparator, with an input
+// sequence number as the tie-break — exactly the order stable_sort gives
+// sort's output — so finish() emits the first N lines of `sort <spec>`
+// byte-for-byte while holding O(N) records instead of materializing (or
+// external-merge-sorting) the whole input. The -u comparators dedup by key
+// class keeping the first occurrence, mirroring SortSpec::sort_stream.
+//
+// The top-k form composes a preceding window command's processor (uniq's
+// O(1) run window) in front of the top-n window, so `uniq -c | sort -rn |
+// head -n K` runs as ONE node holding one run plus K counted lines.
+//
+// For pathological N (a top-n wider than the spill threshold) the window
+// exports its current set as a sorted run (drain_sorted_run) — every
+// record it ever evicted had N surviving smaller records in the same
+// epoch, so the merged union of all exported runs still contains the true
+// top N — and output_limit() caps the re-streamed external merge at N
+// records.
+#pragma once
+
+#include <memory>
+
+#include "unixcmd/command.h"
+#include "unixcmd/sort_cmd.h"
+
+namespace kq::cmd {
+
+// `sort <spec> | head -n N` fused. `display` is the command's display name;
+// `n` < 0 is treated as 0 (head never emits a negative count).
+CommandPtr make_top_n_command(std::shared_ptr<const SortSpec> spec, long n,
+                              std::string display);
+
+// `<window command> | sort <spec> | head -n N` fused. `first` must declare
+// Streamability::kWindow with a bounded resident window (uniq); its
+// processor's emission feeds the top-n window.
+CommandPtr make_window_top_n_command(CommandPtr first,
+                                     std::shared_ptr<const SortSpec> spec,
+                                     long n, std::string display);
+
+// The sort comparator behind a fused top-n/top-k command, or nullptr when
+// `command` is not one. The streaming runtime spills an oversized top-n
+// window as sorted runs under this spec (compile::lower_plan consults it
+// alongside sort_spec_of).
+std::shared_ptr<const SortSpec> fused_sort_spec_of(const Command& command);
+
+}  // namespace kq::cmd

@@ -105,6 +105,10 @@ class UniqCommand final : public Command {
 
 }  // namespace
 
+bool is_uniq_command(const Command& command) {
+  return dynamic_cast<const UniqCommand*>(&command) != nullptr;
+}
+
 CommandPtr make_uniq(const Argv& argv, std::string* error) {
   UniqFlags flags;
   for (std::size_t i = 1; i < argv.size(); ++i) {

@@ -88,8 +88,11 @@ INSTANTIATE_TEST_SUITE_P(
         "sed 2q",
         "sed 1d",
         "head -n 3",
+        "head -c 17",
         "tail -n 2",
         "tail -n +2",
+        "tail -c 9",
+        "tail -c +5",
         "rev",
         "awk '{print NF}'",
         "awk '{print $2, $0}'",
