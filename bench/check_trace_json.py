@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI trace-smoke validator: structural checks on a --trace-json artifact.
+
+    bench/check_trace_json.py <trace.json> [--min-events N]
+
+Asserts the file is what Perfetto / chrome://tracing will accept:
+
+  - top level is an object with a "traceEvents" list
+  - every event has name (str), ph (str), pid (int), tid (int)
+  - ph is one of the phases the tracer emits: M (metadata), X (complete
+    span), i (instant)
+  - X events carry numeric ts >= 0 and dur >= 0
+  - i events carry numeric ts >= 0 and scope "s": "t"
+  - M events are thread_name/process_name with a string args.name
+  - at least --min-events non-metadata events (default 1): a pipeline run
+    with tracing on always records source-fill and node spans, so an
+    empty trace means the tracer was never threaded into the run
+
+Exit status: 0 valid, 1 structural problem, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"M", "X", "i"}
+METADATA_NAMES = {"thread_name", "process_name"}
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    min_events = 1
+    if "--min-events" in args:
+        i = args.index("--min-events")
+        try:
+            min_events = int(args[i + 1])
+        except (IndexError, ValueError):
+            print(__doc__, file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace_json: {e}", file=sys.stderr)
+        return 2
+
+    problems = []
+    events = trace.get("traceEvents") if isinstance(trace, dict) else None
+    if not isinstance(events, list):
+        print("check_trace_json: no traceEvents list at top level",
+              file=sys.stderr)
+        return 1
+
+    spans = instants = metadata = 0
+    for n, ev in enumerate(events):
+        where = f"event {n}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name, ph = ev.get("name"), ev.get("ph")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing or empty name")
+        if not isinstance(ph, str) or ph not in ALLOWED_PHASES:
+            problems.append(f"{where} ({name!r}): bad ph {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where} ({name!r}): missing int {key}")
+        if ph == "X":
+            spans += 1
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)) or v < 0:
+                    problems.append(
+                        f"{where} ({name!r}): X needs {key} >= 0, got {v!r}")
+        elif ph == "i":
+            instants += 1
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(
+                    f"{where} ({name!r}): i needs ts >= 0, got {ts!r}")
+            if ev.get("s") != "t":
+                problems.append(
+                    f"{where} ({name!r}): i needs thread scope s=t")
+        else:
+            metadata += 1
+            if name not in METADATA_NAMES:
+                problems.append(f"{where}: unexpected metadata name {name!r}")
+            args_obj = ev.get("args")
+            if not (isinstance(args_obj, dict)
+                    and isinstance(args_obj.get("name"), str)):
+                problems.append(
+                    f"{where} ({name!r}): M needs string args.name")
+
+    if spans + instants < min_events:
+        problems.append(
+            f"only {spans + instants} non-metadata events; expected at least "
+            f"{min_events} — was the tracer attached to the run?")
+
+    if problems:
+        print("trace-smoke FAILED:", file=sys.stderr)
+        for p in problems[:40]:
+            print(f"  {p}", file=sys.stderr)
+        if len(problems) > 40:
+            print(f"  ... and {len(problems) - 40} more", file=sys.stderr)
+        return 1
+    print(f"trace ok: {spans} spans, {instants} instants, "
+          f"{metadata} metadata events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

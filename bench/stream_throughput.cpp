@@ -48,6 +48,7 @@
 
 #include "compile/optimize.h"
 #include "compile/plan.h"
+#include "obs/trace.h"
 #include "stream/dataflow.h"
 
 namespace {
@@ -139,6 +140,7 @@ struct Measurement {  // POD: shipped over a pipe from the forked child
   std::size_t peak_inflight = 0;  // streaming only
   std::size_t spilled = 0;        // streaming only
   std::size_t bytes_read = 0;     // input bytes the BlockReader delivered
+  std::size_t spill_runs = 0;     // sorted runs written across all nodes
 };
 
 // Set when any measurement ran in-process because fork was unavailable:
@@ -225,7 +227,25 @@ Measurement run_streaming_file(const Compiled& compiled,
   m.peak_inflight = r.peak_inflight_bytes;
   m.spilled = r.spilled_bytes;
   m.bytes_read = r.bytes_read;
+  for (const stream::NodeMetrics& node : r.nodes)
+    m.spill_runs += static_cast<std::size_t>(node.spill_runs);
   return m;
+}
+
+// The telemetry-overhead twin: same run with per-stage counters on (and
+// optionally a live tracer). The trace is discarded — only the wall-clock
+// cost of recording matters here.
+Measurement run_streaming_telemetry(const Compiled& compiled,
+                                    const std::string& path, int k,
+                                    stream::StreamConfig config,
+                                    bool with_trace) {
+  config.stats = true;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (with_trace) {
+    tracer = std::make_unique<obs::Tracer>();
+    config.tracer = tracer.get();
+  }
+  return run_streaming_file(compiled, path, k, config);
 }
 
 Measurement run_batch_file(const Compiled& compiled, const std::string& path,
@@ -268,7 +288,8 @@ void write_json(const std::string& path, std::size_t input_mb,
     const GateRecord& r = records[i];
     out << "    {\"name\": \"" << r.name << "\", \"wall_s\": " << r.m.seconds
         << ", \"rss_growth_bytes\": " << r.m.rss_growth
-        << ", \"bytes_read\": " << r.m.bytes_read << "}"
+        << ", \"bytes_read\": " << r.m.bytes_read
+        << ", \"spill_runs\": " << r.m.spill_runs << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -498,6 +519,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry overhead: the same fully-streamable pipeline with telemetry
+  // off, with per-stage counters, and with a live tracer. The disabled
+  // path's instrumentation is one branch per block, so counters-on must
+  // stay within 2% of off (plus a small absolute floor that absorbs
+  // smoke-size scheduling noise); the full-trace run is reported but not
+  // gated — recording spans has a real cost by design, the contract is
+  // about what the *disabled* path pays.
+  bool telemetry_cheap = true;
+  {
+    const Compiled& compiled = compiled_pipelines[0];
+    std::cout << "\ntelemetry overhead: " << kPipelines[0].cmd << "\n";
+    Measurement off = run_isolated(
+        [&] { return run_streaming_file(compiled, path, k, config); });
+    Measurement counted = run_isolated([&] {
+      return run_streaming_telemetry(compiled, path, k, config, false);
+    });
+    Measurement traced = run_isolated([&] {
+      return run_streaming_telemetry(compiled, path, k, config, true);
+    });
+    std::cout << "  off:      " << off.seconds << " s\n"
+              << "  counters: " << counted.seconds << " s ("
+              << (off.seconds > 0 ? counted.seconds / off.seconds : 0)
+              << "x)\n"
+              << "  traced:   " << traced.seconds << " s ("
+              << (off.seconds > 0 ? traced.seconds / off.seconds : 0)
+              << "x)\n";
+    if (!off.ok || !counted.ok || !traced.ok) all_ok = false;
+    if (off.out_bytes != counted.out_bytes ||
+        off.out_bytes != traced.out_bytes) {
+      std::cout << "  ERROR: telemetry changed the output ("
+                << off.out_bytes << "/" << counted.out_bytes << "/"
+                << traced.out_bytes << " bytes)\n";
+      all_ok = false;
+    }
+    if (speed_check && counted.seconds > off.seconds * 1.02 + 0.1) {
+      std::cout << "  ERROR: stats counters cost more than 2% wall "
+                   "overhead\n";
+      telemetry_cheap = false;
+    }
+  }
+
   // Prefix early-exit: head -n 10 must cancel the upstream reader after
   // O(blocks), not drain the input — a bytes-read budget, not a timing.
   {
@@ -541,9 +603,16 @@ int main(int argc, char** argv) {
                     ? "verdict skipped"
                     : (window_bounded ? "bounded (< 16 MiB)"
                                       : "NOT bounded"))
+            << "; telemetry "
+            << (!speed_check ? "check skipped"
+                             : (telemetry_cheap ? "within 2% when disabled"
+                                                : "TOO EXPENSIVE"))
             << "\n";
   std::remove(path.c_str());
   if (fork_fallback_used) bounded = window_bounded = true;  // unreliable
   if (!all_ok) std::cout << "verdict: FAILED (run or output error above)\n";
-  return (all_ok && all_faster && bounded && window_bounded) ? 0 : 1;
+  return (all_ok && all_faster && bounded && window_bounded &&
+          telemetry_cheap)
+             ? 0
+             : 1;
 }

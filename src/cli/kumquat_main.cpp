@@ -21,11 +21,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "compile/optimize.h"
 #include "compile/plan.h"
+#include "obs/trace.h"
 #include "procexec/external_command.h"
 #include "stream/dataflow.h"
 #include "text/shellwords.h"
@@ -89,7 +92,8 @@ struct CompiledPipeline {
 };
 
 std::optional<CompiledPipeline> compile_line(const std::string& pipeline,
-                                             bool rewrite) {
+                                             bool rewrite,
+                                             obs::Tracer* tracer = nullptr) {
   std::string error;
   auto parsed = compile::parse_pipeline(pipeline, &error);
   if (!parsed) {
@@ -97,7 +101,10 @@ std::optional<CompiledPipeline> compile_line(const std::string& pipeline,
     return std::nullopt;
   }
   static synth::SynthesisCache cache;
-  CompiledPipeline out{compile::compile_pipeline(*parsed, cache), {}};
+  compile::PlanOptions options;
+  options.tracer = tracer;  // records "synthesize <cmd>" compile spans
+  CompiledPipeline out{compile::compile_pipeline(*parsed, cache, options),
+                       {}};
   // Whole-pipeline rewrites (sort|head -> bounded top-n) run before
   // combiner elimination: a fused stage is sequential and ends an
   // elimination chain. --no-rewrite restores the per-stage plan.
@@ -140,12 +147,97 @@ int cmd_compile(const std::string& pipeline, bool rewrite) {
   return 0;
 }
 
+// Human-readable ns -> "12.3ms"-style duration for the --stats table.
+std::string format_ms(std::uint64_t ns) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1)
+      << static_cast<double>(ns) / 1e6 << "ms";
+  return out.str();
+}
+
+// The per-stage --stats table (stderr). One row per dataflow node:
+//
+//   stage  memory  blocks  records in/out  bytes in/out  blocked(send/recv)
+//   pool(hit/miss)  spill(runs/bytes)  early-exit
+//
+// Counter semantics are documented in docs/OBSERVABILITY.md.
+void print_stream_stats(const stream::StreamResult& result) {
+  std::cerr << "kumquat stats: " << result.nodes.size() << " node(s), peak "
+            << result.peak_inflight_bytes << " bytes in flight, read "
+            << result.bytes_read << " input bytes\n";
+  for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+    const stream::NodeMetrics& n = result.nodes[i];
+    std::cerr << "  [" << i << "] " << n.commands << "\n"
+              << "      memory=" << n.memory
+              << (n.parallel ? " parallel" : "")
+              << (n.streamed_combine ? " streamed-combine" : "") << "\n"
+              << "      blocks=" << n.chunks << " records=" << n.records_in
+              << "/" << n.records_out << " bytes=" << n.in_bytes << "/"
+              << n.out_bytes << "\n"
+              << "      blocked send=" << format_ms(n.send_blocked_ns)
+              << " recv=" << format_ms(n.recv_blocked_ns)
+              << " pool=" << n.pool_hits << "/"
+              << (n.pool_hits + n.pool_misses);
+    if (n.spill_runs != 0 || n.spilled_bytes != 0)
+      std::cerr << " spill=" << n.spill_runs << " runs/" << n.spilled_bytes
+                << " bytes";
+    if (!n.early_exit.empty())
+      std::cerr << " early-exit=" << n.early_exit;
+    std::cerr << "\n";
+  }
+}
+
+// Batch-path --stats: the staged runner's per-stage metrics.
+void print_batch_stats(const exec::RunResult& result) {
+  std::cerr << "kumquat stats: " << result.stages.size()
+            << " stage(s), batch\n";
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const exec::StageMetrics& s = result.stages[i];
+    std::cerr << "  [" << i << "] " << s.command << "\n"
+              << "      " << (s.parallel ? "parallel" : "sequential")
+              << (s.combiner_eliminated ? " (combiner eliminated)" : "")
+              << (s.combine_fallback ? " (combine fallback)" : "")
+              << " chunks=" << s.chunks << " bytes=" << s.in_bytes << "/"
+              << s.out_bytes << " seconds=" << s.seconds << "\n";
+  }
+}
+
 int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
             std::size_t block_size, std::size_t spill_threshold,
-            char delimiter, bool rewrite) {
-  auto compiled = compile_line(pipeline, rewrite);
+            char delimiter, bool rewrite, bool stats,
+            const std::string& trace_path) {
+  // Fail on an unwritable trace path *before* compiling or consuming any
+  // input: a run whose trace silently vanished is worse than no run.
+  std::ofstream trace_out;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path, std::ios::out | std::ios::trunc);
+    if (!trace_out) {
+      std::cerr << "kumquat: cannot open trace file '" << trace_path
+                << "' for writing\n";
+      return 2;
+    }
+    tracer = std::make_unique<obs::Tracer>();
+  }
+
+  auto compiled = compile_line(pipeline, rewrite, tracer.get());
   if (!compiled) return 2;
   exec::ThreadPool pool(k);
+
+  // Serializes the trace (if any); returns false when the write failed.
+  auto write_trace = [&]() -> bool {
+    if (!tracer) return true;
+    tracer->write_chrome_json(trace_out);
+    trace_out.flush();
+    if (!trace_out) {
+      std::cerr << "kumquat: failed writing trace file '" << trace_path
+                << "'\n";
+      return false;
+    }
+    std::cerr << "kumquat: wrote " << tracer->event_count()
+              << " trace events to " << trace_path << "\n";
+    return true;
+  };
 
   if (streaming) {
     // Streaming dataflow path: stdin is pulled through a BlockReader in
@@ -166,12 +258,15 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
     config.use_elimination = optimize;
     config.spill_threshold = spill_threshold;
     config.delimiter = delimiter;
+    config.stats = stats;
+    config.tracer = tracer.get();
     // Read stdin by fd, not istream: the fd source is poll(2)-driven, so
     // an early exit (a satisfied `head`) wakes a read blocked on an idle
     // pipe promptly instead of at the next block boundary.
     stream::StreamResult result = stream::run_streaming_fd(
         compiled->stages, STDIN_FILENO, std::cout, pool, config);
     std::cout.flush();
+    bool trace_ok = write_trace();
     if (!result.ok) {
       std::cerr << "kumquat: streaming run failed: " << result.error
                 << " (rerun with --batch)\n";
@@ -184,7 +279,8 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
     if (result.spilled_bytes != 0)
       std::cerr << ", spilled " << result.spilled_bytes << " bytes to disk";
     std::cerr << "\n";
-    return 0;
+    if (stats) print_stream_stats(result);
+    return trace_ok ? 0 : 1;
   }
 
   std::ostringstream buffer;
@@ -193,9 +289,11 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
   exec::RunResult result =
       exec::run_pipeline(compiled->stages, input, pool, {k, optimize});
   std::cout << result.output;
+  bool trace_ok = write_trace();  // batch traces carry the compile spans
   std::cerr << "kumquat: " << result.seconds << " s at k=" << k
             << ", batch\n";
-  return 0;
+  if (stats) print_batch_stats(result);
+  return trace_ok ? 0 : 1;
 }
 
 // Parses a one-byte record delimiter: a single character, or one of the
@@ -246,8 +344,8 @@ void usage() {
                "[--stream|--batch]\n"
                "              [--block-size N[K|M|G]] "
                "[--spill-threshold N[K|M|G]|0]\n"
-               "              [--delimiter C] '<pipeline>'  (stdin -> "
-               "stdout)\n"
+               "              [--delimiter C] [--stats] [--trace-json FILE]\n"
+               "              '<pipeline>'  (stdin -> stdout)\n"
                "\n"
                "  run executes the streaming dataflow runtime by default\n"
                "  (bounded memory, default 1M blocks). Nodes that would\n"
@@ -260,7 +358,13 @@ void usage() {
                "  compile and run fuse bounded top-N patterns by default\n"
                "  ('sort | head -n N', 'uniq -c | sort -rn | head -n K')\n"
                "  into O(N) window stages; --no-rewrite keeps the original\n"
-               "  per-stage plan.\n";
+               "  per-stage plan.\n"
+               "\n"
+               "  --stats prints a per-stage telemetry table to stderr\n"
+               "  (records, bytes, blocked time, spill activity). "
+               "--trace-json\n"
+               "  writes a Chrome trace-event file loadable in Perfetto\n"
+               "  (see docs/OBSERVABILITY.md).\n";
 }
 
 }  // namespace
@@ -307,6 +411,8 @@ int main(int argc, char** argv) {
     std::size_t block_size = 1 << 20;
     std::size_t spill_threshold = 64 << 20;
     char delimiter = '\n';
+    bool stats = false;
+    std::string trace_path;
     std::string pipeline;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
@@ -339,6 +445,14 @@ int main(int argc, char** argv) {
           std::cerr << "kumquat: " << error << "\n";
           return 2;
         }
+      } else if (std::strcmp(argv[i], "--stats") == 0) {
+        stats = true;
+      } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+        trace_path = argv[++i];
+        if (trace_path.empty()) {
+          std::cerr << "kumquat: --trace-json requires a file path\n";
+          return 2;
+        }
       } else if (std::strncmp(argv[i], "--", 2) == 0) {
         // A typo'd --no-rewrite silently running WITH the rewrite would
         // make an A/B comparison pass vacuously.
@@ -357,7 +471,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_run(pipeline, k, optimize, streaming, block_size,
-                   spill_threshold, delimiter, rewrite);
+                   spill_threshold, delimiter, rewrite, stats, trace_path);
   }
   usage();
   return 2;

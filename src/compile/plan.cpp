@@ -1,5 +1,7 @@
 #include "compile/plan.h"
 
+#include "obs/trace.h"
+
 #include "dsl/ast.h"
 #include "unixcmd/registry.h"
 #include "unixcmd/sort_cmd.h"
@@ -35,8 +37,15 @@ Plan compile_pipeline(const ParsedPipeline& parsed,
       plan.stages.push_back(std::move(stage));
       continue;
     }
+    auto span = obs::span(options.tracer,
+                          "synthesize " + stage.command->display_name(),
+                          "compile");
     const synth::SynthesisResult& synth_result = cache.get_or_synthesize(
         *stage.command, parsed_stage.argv, options.synthesis, fs);
+    span.arg("rounds", static_cast<std::uint64_t>(synth_result.rounds));
+    span.arg("observations", synth_result.observation_count);
+    span.arg("success", synth_result.success ? 1 : 0);
+    span.finish();
     stage.synthesis = &synth_result;
     if (synth_result.success) {
       bool rerun_only = synth_result.combiner.rerun_only();

@@ -11,6 +11,10 @@
 #include "exec/runner.h"
 #include "synth/synthesize.h"
 
+namespace kq::obs {
+class Tracer;
+}
+
 namespace kq::compile {
 
 struct PlanOptions {
@@ -19,6 +23,10 @@ struct PlanOptions {
   // command shrinks its input by at least this factor; otherwise the rerun
   // dominates and the stage stays sequential (§2's `tr -cs` decision).
   double rerun_reduction_threshold = 0.5;
+  // When non-null, compile_pipeline records one "synthesize <cmd>" span
+  // per stage (category "compile", with rounds/observation args) so
+  // --trace-json shows synthesis cost alongside the run (src/obs/trace.h).
+  obs::Tracer* tracer = nullptr;
 };
 
 struct PlannedStage {

@@ -1,0 +1,33 @@
+#include "obs/metrics.h"
+
+#include <cstring>
+
+namespace kq::obs {
+
+const char* early_exit_name(EarlyExit cause) {
+  switch (cause) {
+    case EarlyExit::kNone: return "";
+    case EarlyExit::kPrefixSatisfied: return "prefix-satisfied";
+    case EarlyExit::kDownstreamClosed: return "downstream-closed";
+  }
+  return "";
+}
+
+std::uint64_t count_records(std::string_view data, char delimiter) {
+  if (data.empty()) return 0;
+  std::uint64_t n = 0;
+  const char* p = data.data();
+  std::size_t remaining = data.size();
+  while (remaining > 0) {
+    const char* hit =
+        static_cast<const char*>(std::memchr(p, delimiter, remaining));
+    if (hit == nullptr) break;
+    ++n;
+    remaining -= static_cast<std::size_t>(hit - p) + 1;
+    p = hit + 1;
+  }
+  if (data.back() != delimiter) ++n;  // trailing partial record
+  return n;
+}
+
+}  // namespace kq::obs

@@ -1,0 +1,184 @@
+#include "obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+#include <thread>
+
+namespace kq::obs {
+namespace {
+
+// Small dense thread ordinals: stable per thread for the process lifetime,
+// used both as the shard key and as the Chrome "tid" (real TIDs would work
+// but make shard selection a hash away; ordinals keep shards balanced and
+// traces readable).
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Microseconds with sub-microsecond precision: Chrome's "ts"/"dur" accept
+// doubles, and dataflow spans are often shorter than 1 us.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  out << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+      << static_cast<char>('0' + (ns % 100) / 10)
+      << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+Tracer::Span::Span(Tracer* tracer, std::string name, const char* cat)
+    : tracer_(tracer), name_(std::move(name)), cat_(cat),
+      start_ns_(tracer->now_ns()) {}
+
+void Tracer::Span::finish() {
+  if (!tracer_) return;
+  Event event;
+  event.name = std::move(name_);
+  event.cat = cat_;
+  event.phase = 'X';
+  event.ts_ns = start_ns_;
+  event.dur_ns = tracer_->now_ns() - start_ns_;
+  event.args = args_;
+  event.n_args = n_args_;
+  tracer_->record(std::move(event));
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer(std::size_t shards)
+    : epoch_(std::chrono::steady_clock::now()) {
+  if (shards == 0) {
+    shards = 2 * std::thread::hardware_concurrency();
+    shards = std::max<std::size_t>(4, std::min<std::size_t>(64, shards));
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::Span Tracer::span(std::string name, const char* cat) {
+  return Span(this, std::move(name), cat);
+}
+
+void Tracer::instant(std::string name, const char* cat) {
+  Event event;
+  event.name = std::move(name);
+  event.cat = cat;
+  event.phase = 'i';
+  event.ts_ns = now_ns();
+  record(std::move(event));
+}
+
+void Tracer::set_thread_name(std::string name) {
+  std::lock_guard lock(names_mu_);
+  thread_names_.emplace_back(current_tid(), std::move(name));
+}
+
+void Tracer::record(Event event) {
+  event.tid = current_tid();
+  Shard& shard = *shards_[event.tid % shards_.size()];
+  std::lock_guard lock(shard.mu);
+  shard.events.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->events.size();
+  }
+  return n;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  std::vector<Event> events;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    events.insert(events.end(), shard->events.begin(), shard->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  const long pid = static_cast<long>(::getpid());
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+
+  comma();
+  out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+      << ", \"tid\": 0, \"args\": {\"name\": \"kumquat\"}}";
+  {
+    std::lock_guard lock(names_mu_);
+    for (const auto& [tid, name] : thread_names_) {
+      comma();
+      out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid
+          << ", \"tid\": " << tid << ", \"args\": {\"name\": ";
+      write_escaped(out, name);
+      out << "}}";
+    }
+  }
+
+  for (const Event& event : events) {
+    comma();
+    out << "{\"name\": ";
+    write_escaped(out, event.name);
+    out << ", \"cat\": \"" << event.cat << "\", \"ph\": \"" << event.phase
+        << "\", \"pid\": " << pid << ", \"tid\": " << event.tid
+        << ", \"ts\": ";
+    write_us(out, event.ts_ns);
+    if (event.phase == 'X') {
+      out << ", \"dur\": ";
+      write_us(out, event.dur_ns);
+    } else if (event.phase == 'i') {
+      out << ", \"s\": \"t\"";
+    }
+    if (event.n_args > 0) {
+      out << ", \"args\": {";
+      for (std::size_t i = 0; i < event.n_args; ++i) {
+        if (i) out << ", ";
+        out << '"' << event.args[i].key << "\": " << event.args[i].value;
+      }
+      out << '}';
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace kq::obs

@@ -1,0 +1,148 @@
+// Span tracing for the streaming runtime. A Tracer records named,
+// timestamped spans — node lifetimes, per-block fill/process work, spill
+// run writes, merge phases, synthesis timing — and serializes them as
+// Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The span taxonomy is documented in
+// docs/OBSERVABILITY.md.
+//
+// Concurrency: recording is lock-sharded — each thread appends to a shard
+// keyed by its thread ordinal, so concurrent dataflow nodes almost never
+// contend on the same mutex. Serialization (write_chrome_json) locks every
+// shard once, after the run.
+//
+// Disabled cost: nothing in this header runs unless a caller holds a
+// Tracer*. Instrumentation sites use the null-tolerant free helpers below
+// (obs::span / obs::instant), so a null tracer costs one pointer test —
+// the hot dataflow path pays one branch per block, nothing else.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kq::obs {
+
+class Tracer {
+ public:
+  // Numeric span argument (Chrome "args"). Keys must be string literals
+  // (they are stored unowned).
+  struct Arg {
+    const char* key = nullptr;
+    std::uint64_t value = 0;
+  };
+  static constexpr std::size_t kMaxArgs = 6;
+
+  // RAII span: construction stamps the start time, destruction (or an
+  // explicit finish()) records one complete ("X") trace event on the
+  // recording thread. A default-constructed Span is inert — the shape the
+  // null-tracer fast path returns.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        finish();
+        tracer_ = other.tracer_;
+        name_ = std::move(other.name_);
+        cat_ = other.cat_;
+        start_ns_ = other.start_ns_;
+        args_ = other.args_;
+        n_args_ = other.n_args_;
+        other.tracer_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    // Attaches a numeric argument (up to kMaxArgs; extras are dropped).
+    void arg(const char* key, std::uint64_t value) {
+      if (tracer_ && n_args_ < kMaxArgs) args_[n_args_++] = {key, value};
+    }
+
+    // Records the span now instead of at scope exit. Idempotent.
+    void finish();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name, const char* cat);
+
+    Tracer* tracer_ = nullptr;
+    std::string name_;
+    const char* cat_ = "";
+    std::uint64_t start_ns_ = 0;
+    std::array<Arg, kMaxArgs> args_{};
+    std::size_t n_args_ = 0;
+  };
+
+  // `shards` caps recording contention; 0 picks a default sized for the
+  // machine (clamped to [4, 64]).
+  explicit Tracer(std::size_t shards = 0);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts a complete-event span (category must be a string literal).
+  Span span(std::string name, const char* cat);
+
+  // Records a zero-duration instant event.
+  void instant(std::string name, const char* cat);
+
+  // Names the calling thread in the trace (Chrome "thread_name" metadata);
+  // dataflow nodes call this so Perfetto rows read as pipeline stages.
+  void set_thread_name(std::string name);
+
+  // Total events recorded so far (spans + instants, excluding metadata).
+  std::size_t event_count() const;
+
+  // Serializes everything recorded so far as a Chrome trace-event JSON
+  // object ({"traceEvents": [...], ...}); timestamps are microseconds
+  // relative to Tracer construction. Safe to call while other threads
+  // still record (their later events are simply absent).
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* cat = "";
+    char phase = 'X';  // 'X' complete, 'i' instant
+    std::uint32_t tid = 0;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::array<Arg, kMaxArgs> args{};
+    std::size_t n_args = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  std::uint64_t now_ns() const;
+  void record(Event event);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex names_mu_;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+};
+
+// Null-tolerant helpers: the instrumentation idiom is
+//   auto sp = obs::span(tracer, "spill-run", "spill");
+// which is a single branch (and an inert Span) when `tracer` is null.
+inline Tracer::Span span(Tracer* tracer, std::string name, const char* cat) {
+  return tracer ? tracer->span(std::move(name), cat) : Tracer::Span();
+}
+inline void instant(Tracer* tracer, std::string name, const char* cat) {
+  if (tracer) tracer->instant(std::move(name), cat);
+}
+
+}  // namespace kq::obs

@@ -5,7 +5,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <istream>
+
+#include "obs/trace.h"
 
 namespace kq::stream {
 namespace {
@@ -15,13 +18,34 @@ BlockReaderOptions sanitize(BlockReaderOptions options) {
   return options;
 }
 
-BlockReader::ReadFn stream_source(std::istream& in,
-                                  std::shared_ptr<int> error) {
-  return [&in, error = std::move(error)](char* buf,
-                                         std::size_t n) -> std::size_t {
-    in.read(buf, static_cast<std::streamsize>(n));
-    if (in.bad()) *error = EIO;  // lost the stream, not just EOF
-    return static_cast<std::size_t>(in.gcount());
+// Slice size for the istream source's cancellation checks: an istream read
+// cannot be interrupted, so instead of asking for a whole block at once
+// the source reads ≤4 KiB at a time and rechecks the cancel flag between
+// slices — a cancel mid-fill is noticed within one slice (at most a few
+// records) rather than at the next block boundary. Small enough for
+// prompt embedded cancellation, large enough that the per-slice virtual
+// call vanishes against the buffered stream read.
+constexpr std::size_t kCancelSliceBytes = 4096;
+
+BlockReader::ReadFn stream_source(std::istream& in, std::shared_ptr<int> error,
+                                  std::shared_ptr<std::atomic<bool>> cancel) {
+  return [&in, error = std::move(error),
+          cancel = std::move(cancel)](char* buf,
+                                      std::size_t n) -> std::size_t {
+    std::size_t total = 0;
+    while (total < n) {
+      if (cancel->load()) break;  // mid-fill stop: deliver what we have
+      std::size_t want = std::min(n - total, kCancelSliceBytes);
+      in.read(buf + total, static_cast<std::streamsize>(want));
+      if (in.bad()) {
+        *error = EIO;  // lost the stream, not just EOF
+        break;
+      }
+      std::size_t got = static_cast<std::size_t>(in.gcount());
+      total += got;
+      if (got < want) break;  // end of input
+    }
+    return total;
   };
 }
 
@@ -30,11 +54,16 @@ BlockReader::ReadFn stream_source(std::istream& in,
 // that an active stream pays one cheap always-ready poll per read.
 constexpr int kCancelPollMs = 50;
 
-BlockReader::ReadFn fd_source(int fd, std::shared_ptr<int> error,
-                              std::shared_ptr<std::atomic<bool>> cancel,
-                              std::shared_ptr<std::atomic<bool>> idle) {
+BlockReader::ReadFn fd_source(
+    int fd, std::shared_ptr<int> error,
+    std::shared_ptr<std::atomic<bool>> cancel,
+    std::shared_ptr<std::atomic<bool>> idle,
+    std::shared_ptr<std::atomic<bool>> time_waits,
+    std::shared_ptr<std::atomic<std::uint64_t>> wait_ns) {
   return [fd, error = std::move(error), cancel = std::move(cancel),
-          idle = std::move(idle)](char* buf, std::size_t n) -> std::size_t {
+          idle = std::move(idle), time_waits = std::move(time_waits),
+          wait_ns = std::move(wait_ns)](char* buf,
+                                        std::size_t n) -> std::size_t {
     while (true) {
       if (cancel->load()) return 0;  // clean consumer-side stop, not error
       // Wait for readability with a timeout instead of blocking in
@@ -43,7 +72,22 @@ BlockReader::ReadFn fd_source(int fd, std::shared_ptr<int> error,
       // block boundary. Regular files are always readable, so the poll is
       // one cheap syscall on the non-pipe path.
       struct pollfd pfd{fd, POLLIN, 0};
+      // Wait timing is opt-in (see enable_wait_timing): only then is the
+      // clock consulted, and only a timed-out poll — an actual wait for
+      // the producer — is charged, so the saturated path stays clock-free
+      // apart from one relaxed flag load per read.
+      bool timing = time_waits->load(std::memory_order_relaxed);
+      std::chrono::steady_clock::time_point t0;
+      if (timing) t0 = std::chrono::steady_clock::now();
       int ready = ::poll(&pfd, 1, kCancelPollMs);
+      if (timing && ready == 0) {
+        wait_ns->fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+      }
       if (ready < 0) {
         if (errno == EINTR) continue;
         *error = errno;
@@ -73,25 +117,27 @@ BlockReader::ReadFn fd_source(int fd, std::shared_ptr<int> error,
 }  // namespace
 
 BlockReader::BlockReader(std::istream& in, BlockReaderOptions options)
-    : read_(stream_source(in, error_)), options_(sanitize(options)) {}
+    : read_(stream_source(in, error_, cancel_)), options_(sanitize(options)) {}
 
 BlockReader::BlockReader(int fd, BlockReaderOptions options)
-    : read_(fd_source(fd, error_, cancel_, idle_)),
+    : read_(fd_source(fd, error_, cancel_, idle_, time_waits_, wait_ns_)),
       options_(sanitize(options)) {}
 
 BlockReader::BlockReader(ReadFn read, BlockReaderOptions options)
     : read_(std::move(read)), options_(sanitize(options)) {}
 
 void BlockReader::fill() {
-  if (cancel_->load()) {  // istream/callback sources: noticed between fills
+  if (cancel_->load()) {  // callback sources: noticed between fills
     eof_ = true;
     return;
   }
+  auto span = obs::span(tracer_, "source-fill", "source");
   std::size_t old = pending_.size();
   pending_.resize(old + options_.block_size);
   std::size_t got = read_(pending_.data() + old, options_.block_size);
   pending_.resize(old + got);
   if (got == 0) eof_ = true;
+  span.arg("bytes", got);
 }
 
 std::optional<std::string> BlockReader::next() {

@@ -18,11 +18,16 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
+
+namespace kq::obs {
+class Tracer;
+}
 
 namespace kq::stream {
 
@@ -65,10 +70,23 @@ class BlockReader {
   // error). Safe to call from any thread. The fd source polls with a
   // short timeout between reads, so a reader blocked in a long read(2) on
   // an idle pipe wakes within ~one poll interval instead of at the next
-  // block boundary; the istream and callback sources notice between
-  // fills (an istream read cannot be interrupted portably).
+  // block boundary; the istream source reads each block in small slices
+  // and checks the flag per slice, so a cancel lands mid-fill after at
+  // most one slice (~a few records) instead of a whole block — an istream
+  // read itself cannot be interrupted portably, but it need never be asked
+  // for more than a slice. The raw callback source checks between fills.
   void cancel() { cancel_->store(true); }
   bool cancelled() const { return cancel_->load(); }
+
+  // Telemetry (src/obs/): a tracer records one "source-fill" span per fill.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  // Opts in to timing the fd source's idle waits (poll timeouts while the
+  // producer has nothing to read). Off by default so the untelemetered
+  // read loop never touches the clock.
+  void enable_wait_timing() { time_waits_->store(true); }
+  // Nanoseconds the fd source spent waiting for readability (the node-0
+  // recv-blocked time in the --stats table). 0 unless wait timing is on.
+  std::uint64_t wait_ns() const { return wait_ns_->load(); }
 
  private:
   void fill();  // pulls one more block-sized slab into pending_
@@ -83,6 +101,13 @@ class BlockReader {
   // reads only come up short at end of input.
   std::shared_ptr<std::atomic<bool>> idle_ =
       std::make_shared<std::atomic<bool>>(false);
+  // Wait-time accounting for the fd source (shared with its lambda, like
+  // cancel_/idle_): enabled on demand, read back via wait_ns().
+  std::shared_ptr<std::atomic<bool>> time_waits_ =
+      std::make_shared<std::atomic<bool>>(false);
+  std::shared_ptr<std::atomic<std::uint64_t>> wait_ns_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  obs::Tracer* tracer_ = nullptr;
   ReadFn read_;
   BlockReaderOptions options_;
   std::string pending_;  // bytes read but not yet delivered

@@ -1,6 +1,33 @@
 #include "stream/channel.h"
 
+#include <chrono>
+
 namespace kq::stream {
+namespace {
+
+// Waits on `cv` until `ready`, charging the wait to `blocked_ns` when a
+// counter is attached. The clock is read only when a wait is actually
+// needed, so untelemetered (or never-blocking) paths stay clock-free.
+template <typename Pred>
+void timed_wait(std::condition_variable& cv,
+                std::unique_lock<std::mutex>& lock, Pred ready,
+                std::atomic<std::uint64_t>* blocked_ns) {
+  if (ready()) return;
+  if (blocked_ns == nullptr) {
+    cv.wait(lock, ready);
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  cv.wait(lock, ready);
+  blocked_ns->fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()),
+      std::memory_order_relaxed);
+}
+
+}  // namespace
 
 void MemoryGauge::add(std::size_t n) {
   std::size_t now = current_.fetch_add(n) + n;
@@ -16,8 +43,10 @@ Channel::Channel(std::size_t capacity, MemoryGauge* gauge)
 
 bool Channel::push(Chunk chunk) {
   std::unique_lock lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || queue_.size() < capacity_; });
+  timed_wait(
+      not_full_, lock,
+      [this] { return closed_ || queue_.size() < capacity_; },
+      send_blocked_ns_);
   if (closed_) return false;
   if (gauge_) gauge_->add(chunk.bytes.size());
   queue_.push_back(std::move(chunk));
@@ -27,7 +56,9 @@ bool Channel::push(Chunk chunk) {
 
 std::optional<Chunk> Channel::pop() {
   std::unique_lock lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  timed_wait(
+      not_empty_, lock, [this] { return closed_ || !queue_.empty(); },
+      recv_blocked_ns_);
   if (queue_.empty()) return std::nullopt;  // closed and drained
   Chunk chunk = std::move(queue_.front());
   queue_.pop_front();
@@ -76,7 +107,8 @@ Semaphore::Semaphore(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
 
 bool Semaphore::acquire() {
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return cancelled_ || slots_ > 0; });
+  timed_wait(
+      cv_, lock, [this] { return cancelled_ || slots_ > 0; }, blocked_ns_);
   if (cancelled_) return false;
   --slots_;
   return true;
@@ -94,9 +126,14 @@ void Semaphore::cancel() {
   cv_.notify_all();
 }
 
-std::string BufferPool::acquire() {
+std::string BufferPool::acquire(std::atomic<std::uint64_t>* hits,
+                                std::atomic<std::uint64_t>* misses) {
   std::lock_guard lock(mu_);
-  if (free_.empty()) return {};
+  if (free_.empty()) {
+    if (misses) misses->fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  if (hits) hits->fetch_add(1, std::memory_order_relaxed);
   std::string buf = std::move(free_.back());
   free_.pop_back();
   cached_bytes_ -= buf.capacity();

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -79,9 +80,23 @@ class Channel {
 
   std::size_t capacity() const { return capacity_; }
 
+  // Telemetry (src/obs/): blocked-time accumulators for the producer side
+  // (push waiting on a full queue) and the consumer side (pop waiting on an
+  // empty one), in nanoseconds with relaxed ordering. Wire before the
+  // connected nodes start; null (the default) keeps the wait paths
+  // clock-free — time is taken only when a wait actually happens AND a
+  // counter is attached.
+  void set_telemetry(std::atomic<std::uint64_t>* send_blocked_ns,
+                     std::atomic<std::uint64_t>* recv_blocked_ns) {
+    send_blocked_ns_ = send_blocked_ns;
+    recv_blocked_ns_ = recv_blocked_ns;
+  }
+
  private:
   const std::size_t capacity_;
   MemoryGauge* const gauge_;
+  std::atomic<std::uint64_t>* send_blocked_ns_ = nullptr;
+  std::atomic<std::uint64_t>* recv_blocked_ns_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
@@ -102,11 +117,18 @@ class Semaphore {
   // Wakes every waiter and makes all future acquires fail (error teardown).
   void cancel();
 
+  // Telemetry: blocked-time accumulator for acquire() waits (a parallel
+  // feeder stalled on in-flight backpressure counts as send-blocked).
+  void set_telemetry(std::atomic<std::uint64_t>* blocked_ns) {
+    blocked_ns_ = blocked_ns;
+  }
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
   std::size_t slots_;
   bool cancelled_ = false;
+  std::atomic<std::uint64_t>* blocked_ns_ = nullptr;
 };
 
 // Recycles chunk-buffer allocations across blocks so the steady state of a
@@ -131,7 +153,11 @@ class BufferPool {
   void set_budget(std::size_t budget_bytes) { budget_bytes_ = budget_bytes; }
 
   // An empty string, with a recycled allocation when one is available.
-  std::string acquire();
+  // When telemetry counters are passed, a recycled allocation bumps `hits`
+  // and a fresh (empty) one bumps `misses` — per-node pool effectiveness
+  // for the --stats table.
+  std::string acquire(std::atomic<std::uint64_t>* hits = nullptr,
+                      std::atomic<std::uint64_t>* misses = nullptr);
   // Returns a buffer's allocation to the pool (contents are discarded).
   void release(std::string&& buf);
 

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/block_reader.h"
 #include "stream/channel.h"
 #include "stream/spill.h"
@@ -25,6 +27,17 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+// Per-node telemetry handles, both optional: `counters` exists only when
+// StreamConfig::stats is on, `tracer` only under --trace-json. One
+// NodeTelemetry per segment lives in run_streaming_core for the whole run
+// (pool tasks may hold pointers into it until wait_idle()). With both null
+// every instrumentation site below is a pointer test.
+struct NodeTelemetry {
+  obs::StageCounters* counters = nullptr;
+  obs::Tracer* tracer = nullptr;
+  std::string label;  // the segment's display name, used in span names
+};
 
 // A pipeline segment: one node of the dataflow graph. Sequential stages
 // become single-stage drain nodes; consecutive parallel stages joined by
@@ -239,8 +252,8 @@ struct ParallelCtx {
 // Feeder: pulls record-aligned pieces, coalesces them toward block_size,
 // and fans chunks out to the worker pool under the in-flight bound.
 void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
-                Shared& shared, exec::ThreadPool& pool,
-                const StreamConfig& config) {
+                const NodeTelemetry& tele, Shared& shared,
+                exec::ThreadPool& pool, const StreamConfig& config) {
   std::size_t index = 0;
   std::string buf;
 
@@ -253,12 +266,22 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
     std::size_t idx = index++;
     ParallelCtx* c = &ctx;
     Shared* sh = &shared;
-    pool.submit([data = std::move(data), idx, c, sh]() mutable {
+    const NodeTelemetry* t = &tele;
+    pool.submit([data = std::move(data), idx, c, sh, t]() mutable {
       std::size_t in_size = data.size();
       try {
+        // Worker chunk span: one per pool task, on the worker's own trace
+        // row. Name built only when tracing (it concatenates).
+        obs::Tracer::Span span;
+        if (t->tracer) {
+          span = t->tracer->span(t->label + ": worker-chunk", "block");
+          span.arg("chunk", idx);
+          span.arg("bytes_in", in_size);
+        }
         std::string current = std::move(data);
         for (const cmd::Command* stage : c->chain)
           current = stage->run(current);
+        span.arg("bytes_out", current.size());
         c->results.push(Chunk{idx, std::move(current)});
       } catch (const std::exception& e) {
         sh->fail(std::string("worker failed: ") + e.what());
@@ -301,7 +324,8 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
                    const Push& push, const std::function<void()>& close_out,
                    const std::function<bool()>& out_closed,
                    const std::function<void()>& cancel_upstream,
-                   Shared& shared, const StreamConfig& config) {
+                   const NodeTelemetry& tele, Shared& shared,
+                   const StreamConfig& config) {
   std::map<std::size_t, std::string> out_of_order;
   std::size_t next_emit = 0;
   std::string acc;
@@ -344,6 +368,9 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
 
   auto flush_group = [&]() -> bool {
     if (group.empty()) return true;
+    auto span = obs::span(tele.tracer, "combine-fold", "combine");
+    span.arg("parts", group.size() + (have_acc ? 1 : 0));
+    span.arg("bytes", group_bytes + acc.size());
     std::vector<std::string> parts;
     parts.reserve(group.size() + 1);
     if (have_acc) parts.push_back(std::move(acc));
@@ -398,6 +425,7 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
           merger = std::make_unique<SpillMerger>(
               cstage.sort_spec, SpillMerger::Input::kSortedParts,
               config.spill_threshold, &shared.gauge);
+          merger->set_telemetry(tele.tracer, tele.label);
           for (std::string& held : group) {
             if (!spill_part(std::move(held))) return false;
           }
@@ -406,6 +434,7 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
         } else if (spoolable_rerun) {
           spool = std::make_unique<RawSpool>(config.spill_threshold,
                                              &shared.gauge);
+          spool->set_telemetry(tele.tracer, tele.label);
           for (const std::string& held : group) {
             if (!spool_part(held)) return false;
           }
@@ -444,6 +473,9 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
           if (out_closed()) {
             // Downstream has all it needs (a satisfied head, or a closed
             // sink further down): clean local stop, propagated upstream.
+            if (tele.counters)
+              tele.counters->note_early_exit(
+                  obs::EarlyExit::kDownstreamClosed);
             cancel_upstream();
           } else {
             shared.combine_undefined.store(true);
@@ -478,6 +510,9 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
         shared.fail("spill failed for stage '" +
                     cstage.command->display_name() + "': " + spool->error());
       } else {
+        auto span =
+            obs::span(tele.tracer, tele.label + ": combine-rerun", "combine");
+        span.arg("bytes_in", joined.size());
         cmd::Result rerun = cstage.command->execute(joined);
         joined.clear();
         joined.shrink_to_fit();
@@ -509,6 +544,13 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
   } else if (spool) {
     metrics.spilled_bytes = spool->spilled_bytes();
   }
+  if (tele.counters) {
+    tele.counters->spill_runs.store(
+        static_cast<std::uint64_t>(metrics.spill_runs),
+        std::memory_order_relaxed);
+    tele.counters->spill_bytes.store(metrics.spilled_bytes,
+                                     std::memory_order_relaxed);
+  }
   close_out();
 }
 
@@ -523,7 +565,8 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
                     const Push& push, const std::function<void()>& close_out,
                     const std::function<bool()>& out_closed,
                     const std::function<void()>& cancel_upstream,
-                    Shared& shared, const StreamConfig& config) {
+                    const NodeTelemetry& tele, Shared& shared,
+                    const StreamConfig& config) {
   const exec::ExecStage& stage = *seg.chain.front();
   // A dead downstream makes the whole drain-and-execute pointless: poll the
   // output side while pulling so a closed sink stops a materialize stage
@@ -544,6 +587,7 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
   if (spec) {
     SpillMerger sorter(std::move(spec), SpillMerger::Input::kUnsortedBlocks,
                        config.spill_threshold, &shared.gauge);
+    sorter.set_telemetry(tele.tracer, tele.label);
     bool ok = true;
     while (auto piece = pull()) {
       if (shared.halted()) break;
@@ -558,16 +602,33 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
         break;
       }
     }
-    if (abandoned) cancel_upstream();
-    if (ok && !abandoned && !shared.halted())
+    if (abandoned) {
+      if (tele.counters)
+        tele.counters->note_early_exit(obs::EarlyExit::kDownstreamClosed);
+      cancel_upstream();
+    }
+    if (ok && !abandoned && !shared.halted()) {
       ok = sorter.finish(
           [&](std::string&& block) {
             metrics.out_bytes += block.size();
             return push(std::move(block));
           },
           config.block_size);
+      // A push that failed because the consumer closed mid-merge is the
+      // downstream-closed early exit, not a sort failure (the !out_closed()
+      // guard below already keeps it out of shared.fail).
+      if (!ok && out_closed() && tele.counters)
+        tele.counters->note_early_exit(obs::EarlyExit::kDownstreamClosed);
+    }
     metrics.spilled_bytes = sorter.spilled_bytes();
     metrics.spill_runs = sorter.runs_spilled();
+    if (tele.counters) {
+      tele.counters->spill_runs.store(
+          static_cast<std::uint64_t>(metrics.spill_runs),
+          std::memory_order_relaxed);
+      tele.counters->spill_bytes.store(metrics.spilled_bytes,
+                                       std::memory_order_relaxed);
+    }
     if (!ok && !shared.halted() && !out_closed())
       shared.fail("external sort failed for stage '" +
                   stage.command->display_name() + "': " + sorter.error());
@@ -576,6 +637,7 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
   }
 
   RawSpool spool(config.spill_threshold, &shared.gauge);
+  spool.set_telemetry(tele.tracer, tele.label);
   bool ok = true;
   while (auto piece = pull()) {
     if (shared.halted()) break;
@@ -590,20 +652,30 @@ void run_sequential(const Segment& seg, NodeMetrics& metrics, const Pull& pull,
       break;
     }
   }
-  if (abandoned) cancel_upstream();
+  if (abandoned) {
+    if (tele.counters)
+      tele.counters->note_early_exit(obs::EarlyExit::kDownstreamClosed);
+    cancel_upstream();
+  }
   if (!shared.halted() && !abandoned) {
     metrics.spilled_bytes = spool.spilled_bytes();
+    if (tele.counters)
+      tele.counters->spill_bytes.store(metrics.spilled_bytes,
+                                       std::memory_order_relaxed);
     std::string all;
     if (ok) ok = spool.take(&all);
     if (!ok) {
       shared.fail("input spool failed for stage '" + seg.display() +
                   "': " + spool.error());
     } else {
+      auto span = obs::span(tele.tracer, tele.label + ": execute", "node");
+      span.arg("bytes_in", all.size());
       std::string out = stage.command->run(all);
       all.clear();
       all.shrink_to_fit();
       metrics.out_bytes = out.size();
-      emit_blocks(out, push, config);
+      if (!emit_blocks(out, push, config) && out_closed() && tele.counters)
+        tele.counters->note_early_exit(obs::EarlyExit::kDownstreamClosed);
     }
   }
   close_out();
@@ -626,7 +698,14 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
                       const std::function<void()>& close_out,
                       const std::function<bool()>& out_closed,
                       const std::function<void()>& cancel_upstream,
-                      Shared& shared, const StreamConfig& config) {
+                      const NodeTelemetry& tele, Shared& shared,
+                      const StreamConfig& config) {
+  // Pool-effectiveness counters, threaded into every acquire below (null
+  // when stats are off — BufferPool then skips the bumps).
+  std::atomic<std::uint64_t>* pool_hits =
+      tele.counters ? &tele.counters->pool_hits : nullptr;
+  std::atomic<std::uint64_t>* pool_misses =
+      tele.counters ? &tele.counters->pool_misses : nullptr;
   const std::size_t n = seg.chain.size();
   // A window terminal (seg.window) absorbs the chain's output into a
   // WindowProcessor instead of pushing it; the first m stages are ordinary
@@ -679,10 +758,12 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
       window_spillable = false;  // processor keeps its state resident
       return true;
     }
-    if (!merger)
+    if (!merger) {
       merger = std::make_unique<SpillMerger>(
           wspec, SpillMerger::Input::kSortedParts, config.spill_threshold,
           &shared.gauge);
+      merger->set_telemetry(tele.tracer, tele.label);
+    }
     if (!merger->add(std::move(run))) {
       shared.fail("spill failed for stage '" +
                   wstage->command->display_name() + "': " + merger->error());
@@ -706,7 +787,7 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
       if (done[j]) return true;  // complete: the rest of the chain saw all
       std::string* target = &bufs[j];
       if (!window && j + 1 == m) {
-        out = shared.pool.acquire();
+        out = shared.pool.acquire(pool_hits, pool_misses);
         target = &out;
         have_out = true;
       }
@@ -716,7 +797,7 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
     }
     if (window) {
       if (cur.empty()) return true;
-      out = shared.pool.acquire();
+      out = shared.pool.acquire(pool_hits, pool_misses);
       window->push(cur, &out);  // emits only what later input can't change
       if (!spill_window()) {
         shared.pool.release(std::move(out));
@@ -756,7 +837,11 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
     }
     metrics.chunks += 1;
     metrics.in_bytes += piece->size();
-    pushed_ok = feed(*piece, 0);
+    {
+      auto span = obs::span(tele.tracer, "process-block", "block");
+      span.arg("bytes", piece->size());
+      pushed_ok = feed(*piece, 0);
+    }
     shared.pool.release(std::move(*piece));
     if (!pushed_ok) {
       if (!shared.halted() && out_closed()) down_closed = true;
@@ -765,6 +850,12 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
   }
 
   const bool early = input_done();
+  if (tele.counters) {
+    if (early)
+      tele.counters->note_early_exit(obs::EarlyExit::kPrefixSatisfied);
+    else if (down_closed)
+      tele.counters->note_early_exit(obs::EarlyExit::kDownstreamClosed);
+  }
   if ((early || down_closed) && !shared.halted()) cancel_upstream();
 
   if (pushed_ok && !down_closed && !shared.halted()) {
@@ -793,6 +884,7 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
         // external k-way merge re-streams the result — capped at the
         // window's output limit (a fused top-n emits only its first N
         // records of the merged union).
+        auto span = obs::span(tele.tracer, "window-seal", "window");
         std::string sealed;
         window->seal(&sealed);
         bool ok = true;
@@ -836,10 +928,11 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
       } else {
         // Window flush: emission stops the moment downstream closes —
         // cancellation propagates through finish().
+        auto span = obs::span(tele.tracer, "window-finish", "window");
         window->finish([&](std::string_view piece) {
           if (piece.empty()) return true;
           if (shared.halted() || out_closed()) return false;
-          std::string out = shared.pool.acquire();
+          std::string out = shared.pool.acquire(pool_hits, pool_misses);
           out.assign(piece);
           const std::size_t pushed = out.size();
           if (!push(std::move(out))) return false;
@@ -852,6 +945,13 @@ void run_stream_chain(const Segment& seg, NodeMetrics& metrics,
   if (merger) {
     metrics.spilled_bytes = merger->spilled_bytes();
     metrics.spill_runs = merger->runs_spilled();
+    if (tele.counters) {
+      tele.counters->spill_runs.store(
+          static_cast<std::uint64_t>(metrics.spill_runs),
+          std::memory_order_relaxed);
+      tele.counters->spill_bytes.store(metrics.spilled_bytes,
+                                       std::memory_order_relaxed);
+    }
   }
   close_out();
 }
@@ -863,6 +963,22 @@ StreamConfig sanitize(StreamConfig config) {
     config.max_inflight =
         2 * static_cast<std::size_t>(config.parallelism) + 2;
   return config;
+}
+
+// The memory class the runtime *actually* gives this node — mirrors the
+// dispatch in run_streaming_core/run_sequential rather than echoing the
+// plan's label (a plan-sortable stage under a custom delimiter
+// materializes; a parallel segment's residency is its combiner's).
+const char* node_memory_label(const Segment& seg, const StreamConfig& config) {
+  if (seg.window) return "window-stream";
+  if (seg.stream) return "stateless-stream";
+  if (seg.parallel)
+    return exec::memory_class_name(seg.combine_stage->memory_class);
+  const exec::ExecStage& stage = *seg.chain.front();
+  if (stage.memory_class == exec::MemoryClass::kSortableSpill &&
+      config.delimiter == '\n' && stage.command)
+    return "sortable-spill";
+  return "materialize";
 }
 
 StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
@@ -904,6 +1020,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
 
   Shared shared;
   shared.reader = &reader;
+  if (config.tracer) reader.set_tracer(config.tracer);
   // The pool may retain at most one in-flight budget of free capacity:
   // enough for steady-state circulation, without letting a release-heavy
   // node (a window absorbing blocks and emitting nothing) park the whole
@@ -915,6 +1032,14 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
         std::make_unique<Channel>(config.max_inflight, &shared.gauge));
 
   std::vector<std::unique_ptr<ParallelCtx>> ctxs(n);
+  // One telemetry bundle per node; counters allocate only under stats so
+  // the disabled run carries null pointers everywhere.
+  std::vector<std::unique_ptr<obs::StageCounters>> counters;
+  std::vector<NodeTelemetry> teles(n);
+  if (config.stats) {
+    counters.resize(n);
+    reader.enable_wait_timing();
+  }
   result.nodes.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     result.nodes[i].commands = segments[i].display();
@@ -922,12 +1047,29 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     result.nodes[i].streamed_combine = segments[i].emit_concat;
     result.nodes[i].per_block = segments[i].stream;
     result.nodes[i].window = segments[i].window;
+    if (config.stats) {
+      counters[i] = std::make_unique<obs::StageCounters>();
+      teles[i].counters = counters[i].get();
+      result.nodes[i].memory = node_memory_label(segments[i], config);
+    }
+    teles[i].tracer = config.tracer;
+    teles[i].label = result.nodes[i].commands;
     if (segments[i].parallel) {
       ctxs[i] =
           std::make_unique<ParallelCtx>(config.max_inflight, &shared.gauge);
       for (const exec::ExecStage* s : segments[i].chain)
         ctxs[i]->chain.push_back(s->command.get());
+      // A feeder stalled on the in-flight bound is send-blocked: its
+      // output backpressure arrives through the slot semaphore.
+      if (config.stats)
+        ctxs[i]->slots.set_telemetry(&counters[i]->send_blocked_ns);
     }
+  }
+  if (config.stats) {
+    // links[i] connects node i's push side to node i+1's pull side.
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      links[i]->set_telemetry(&counters[i]->send_blocked_ns,
+                              &counters[i + 1]->recv_blocked_ns);
   }
   for (const auto& link : links) shared.channels.push_back(link.get());
   for (const auto& ctx : ctxs) {
@@ -991,22 +1133,64 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
 
     const Segment& seg = segments[i];
     NodeMetrics& metrics = result.nodes[i];
+    const NodeTelemetry& tele = teles[i];
+
+    // Stats wrappers: count blocks/bytes/records crossing the node's
+    // boundaries without touching the node implementations. Pulled blocks
+    // are record-aligned (BlockReader/emit_blocks cut at delimiters), so
+    // per-block record counts sum exactly; pushes count only what
+    // downstream accepted.
+    if (tele.counters) {
+      obs::StageCounters* sc = tele.counters;
+      const char delim = config.delimiter;
+      Pull base_pull = std::move(pull);
+      pull = [base_pull = std::move(base_pull), sc,
+              delim]() -> std::optional<std::string> {
+        std::optional<std::string> piece = base_pull();
+        if (piece) {
+          sc->blocks.fetch_add(1, std::memory_order_relaxed);
+          sc->bytes_in.fetch_add(piece->size(), std::memory_order_relaxed);
+          sc->records_in.fetch_add(obs::count_records(*piece, delim),
+                                   std::memory_order_relaxed);
+        }
+        return piece;
+      };
+      Push base_push = std::move(push);
+      push = [base_push = std::move(base_push), sc,
+              delim](std::string&& bytes) {
+        const std::uint64_t out_bytes = bytes.size();
+        const std::uint64_t out_records = obs::count_records(bytes, delim);
+        if (!base_push(std::move(bytes))) return false;
+        sc->bytes_out.fetch_add(out_bytes, std::memory_order_relaxed);
+        sc->records_out.fetch_add(out_records, std::memory_order_relaxed);
+        return true;
+      };
+    }
+
     if (seg.parallel) {
       ParallelCtx& ctx = *ctxs[i];
-      threads.emplace_back([&ctx, &metrics, pull, &shared, &pool, &config] {
-        try {
-          run_feeder(ctx, metrics, pull, shared, pool, config);
-        } catch (const std::exception& e) {
-          shared.fail(std::string("feeder failed: ") + e.what());
-          ctx.expected.store(
-              static_cast<std::ptrdiff_t>(ctx.tasks_submitted));
-        }
-      });
+      threads.emplace_back(
+          [&ctx, &metrics, pull, &tele, &shared, &pool, &config] {
+            if (tele.tracer)
+              tele.tracer->set_thread_name(tele.label + " (feeder)");
+            auto span =
+                obs::span(tele.tracer, "node: " + tele.label, "node");
+            try {
+              run_feeder(ctx, metrics, pull, tele, shared, pool, config);
+            } catch (const std::exception& e) {
+              shared.fail(std::string("feeder failed: ") + e.what());
+              ctx.expected.store(
+                  static_cast<std::ptrdiff_t>(ctx.tasks_submitted));
+            }
+          });
       threads.emplace_back([&seg, &ctx, &metrics, push, close_out, out_closed,
-                            cancel_upstream, &shared, &config, start] {
+                            cancel_upstream, &tele, &shared, &config, start] {
+        if (tele.tracer)
+          tele.tracer->set_thread_name(tele.label + " (collector)");
+        auto span = obs::span(tele.tracer, "node: " + tele.label, "node");
         try {
           run_collector(seg, ctx, metrics, push, close_out, out_closed,
-                        cancel_upstream, shared, config);
+                        cancel_upstream, tele, shared, config);
         } catch (const std::exception& e) {
           shared.fail(std::string("collector failed: ") + e.what());
           close_out();
@@ -1015,10 +1199,12 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
       });
     } else if (seg.stream) {
       threads.emplace_back([&seg, &metrics, pull, push, close_out, out_closed,
-                            cancel_upstream, &shared, &config, start] {
+                            cancel_upstream, &tele, &shared, &config, start] {
+        if (tele.tracer) tele.tracer->set_thread_name(tele.label);
+        auto span = obs::span(tele.tracer, "node: " + tele.label, "node");
         try {
           run_stream_chain(seg, metrics, pull, push, close_out, out_closed,
-                           cancel_upstream, shared, config);
+                           cancel_upstream, tele, shared, config);
         } catch (const std::exception& e) {
           shared.fail(std::string("stream stage failed: ") + e.what());
           close_out();
@@ -1027,10 +1213,12 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
       });
     } else {
       threads.emplace_back([&seg, &metrics, pull, push, close_out, out_closed,
-                            cancel_upstream, &shared, &config, start] {
+                            cancel_upstream, &tele, &shared, &config, start] {
+        if (tele.tracer) tele.tracer->set_thread_name(tele.label);
+        auto span = obs::span(tele.tracer, "node: " + tele.label, "node");
         try {
           run_sequential(seg, metrics, pull, push, close_out, out_closed,
-                         cancel_upstream, shared, config);
+                         cancel_upstream, tele, shared, config);
         } catch (const std::exception& e) {
           shared.fail(std::string("stage failed: ") + e.what());
           close_out();
@@ -1063,6 +1251,24 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
   result.peak_inflight_bytes = shared.gauge.peak();
   for (const NodeMetrics& node : result.nodes)
     result.spilled_bytes += node.spilled_bytes;
+  if (config.stats) {
+    // Every writer thread has been joined (and every pool task waited
+    // out), so relaxed loads observe the final totals.
+    for (std::size_t i = 0; i < n; ++i) {
+      NodeMetrics& m = result.nodes[i];
+      const obs::StageCounters& c = *counters[i];
+      m.records_in = c.records_in.load(std::memory_order_relaxed);
+      m.records_out = c.records_out.load(std::memory_order_relaxed);
+      m.send_blocked_ns = c.send_blocked_ns.load(std::memory_order_relaxed);
+      m.recv_blocked_ns = c.recv_blocked_ns.load(std::memory_order_relaxed);
+      m.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
+      m.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
+      m.early_exit = obs::early_exit_name(c.early_exit_cause());
+    }
+    // Node 0 pulls straight from the BlockReader: its input-side blocked
+    // time is the reader's poll waits, not a channel's.
+    result.nodes[0].recv_blocked_ns += reader.wait_ns();
+  }
   result.seconds = seconds_since(start);
   return result;
 }

@@ -49,6 +49,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -57,6 +58,10 @@
 
 #include "exec/runner.h"
 #include "exec/thread_pool.h"
+
+namespace kq::obs {
+class Tracer;
+}
 
 namespace kq::stream {
 
@@ -76,6 +81,14 @@ struct StreamConfig {
   // max(block_size, spill_threshold) per record. 0 disables spilling (and
   // the record cap) entirely.
   std::size_t spill_threshold = 64 << 20;
+  // Telemetry (src/obs/). `stats` allocates per-node obs::StageCounters and
+  // wires blocked-time/record/pool accounting through the run — the
+  // extended NodeMetrics fields below are zero without it. A non-null
+  // `tracer` records spans (node lifetimes, block processing, spill runs,
+  // merges) for --trace-json. Both default off; the disabled hot path pays
+  // one branch per block and never touches the clock.
+  bool stats = false;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct NodeMetrics {
@@ -90,6 +103,19 @@ struct NodeMetrics {
   std::size_t spilled_bytes = 0;  // bytes written to disk by this node
   int spill_runs = 0;             // sorted runs spilled (external merge)
   double seconds = 0;             // active span (first input to close)
+
+  // Populated only when StreamConfig::stats is on (see obs/metrics.h for
+  // the counter semantics; docs/OBSERVABILITY.md for the full contract).
+  std::string memory;                  // exec::memory_class_name of the node
+  std::uint64_t records_in = 0;        // records pulled from upstream
+  std::uint64_t records_out = 0;       // records downstream accepted
+  std::uint64_t send_blocked_ns = 0;   // waiting on a full output channel
+  std::uint64_t recv_blocked_ns = 0;   // waiting on an empty input channel
+                                       // (node 0: the reader's poll waits)
+  std::uint64_t pool_hits = 0;         // BufferPool acquires recycled
+  std::uint64_t pool_misses = 0;       // BufferPool acquires fresh
+  std::string early_exit;              // why input stopped early ("" = ran
+                                       // to end of stream)
 };
 
 struct StreamResult {

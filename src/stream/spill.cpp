@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "stream/channel.h"
 #include "unixcmd/sort_cmd.h"
 
@@ -147,6 +148,8 @@ bool RawSpool::add(std::string_view bytes) {
   total_ += bytes.size();
   if (gauge_) gauge_->add(bytes.size());
   if (threshold_ == 0 || buffer_.size() < threshold_) return true;
+  auto span = obs::span(tracer_, label_ + ": spool-spill", "spill");
+  span.arg("bytes", buffer_.size());
   if (!file_) file_ = std::make_unique<SpillFile>();
   if (!file_->append(buffer_)) {
     error_ = file_->error();
@@ -161,6 +164,8 @@ bool RawSpool::add(std::string_view bytes) {
 
 bool RawSpool::take(std::string* out) {
   if (!error_.empty()) return false;
+  auto span = obs::span(tracer_, label_ + ": spool-take", "spill");
+  span.arg("bytes", total_);
   if (gauge_) gauge_->sub(buffer_.size());
   total_ = 0;
   if (!file_) {  // nothing spilled: hand over the buffer without a copy
@@ -233,6 +238,8 @@ std::string SpillMerger::take_resident_run() {
 bool SpillMerger::flush_run() {
   std::string run = take_resident_run();
   if (run.empty()) return true;
+  auto span = obs::span(tracer_, label_ + ": spill-run", "spill");
+  span.arg("bytes", run.size());
   if (!file_) file_ = std::make_unique<SpillFile>();
   if (!file_->valid()) {
     error_ = file_->error();
@@ -251,6 +258,9 @@ bool SpillMerger::flush_run() {
 bool SpillMerger::finish(const std::function<bool(std::string&&)>& push,
                          std::size_t block_size) {
   if (!error_.empty()) return false;
+  auto merge_span = obs::span(tracer_, label_ + ": spill-merge", "spill");
+  merge_span.arg("runs", runs_.size() + 1);  // disk runs + the resident run
+  merge_span.arg("spilled_bytes", spilled_bytes_);
   std::string resident = take_resident_run();
 
   std::vector<RunCursor> cursors;

@@ -37,6 +37,10 @@ namespace kq::cmd {
 class SortSpec;
 }
 
+namespace kq::obs {
+class Tracer;
+}
+
 namespace kq::stream {
 
 class MemoryGauge;
@@ -82,9 +86,19 @@ class RawSpool {
   std::size_t size() const { return total_; }
   const std::string& error() const { return error_; }
 
+  // Telemetry (src/obs/): spans "spool-spill" (each tranche moved to disk)
+  // and "spool-take" (the replay) are recorded under `label` (the owning
+  // stage's display name). Null tracer = no cost beyond one branch.
+  void set_telemetry(obs::Tracer* tracer, std::string label) {
+    tracer_ = tracer;
+    label_ = std::move(label);
+  }
+
  private:
   const std::size_t threshold_;
   MemoryGauge* const gauge_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string label_;
   std::string buffer_;
   std::unique_ptr<SpillFile> file_;
   std::size_t spilled_bytes_ = 0;
@@ -123,6 +137,14 @@ class SpillMerger {
   std::size_t spilled_bytes() const { return spilled_bytes_; }
   const std::string& error() const { return error_; }
 
+  // Telemetry (src/obs/): spans "spill-run" (each sorted run written, with
+  // a bytes arg) and "spill-merge" (the k-way merge in finish(), with a
+  // runs arg) are recorded under `label` (the owning stage's display name).
+  void set_telemetry(obs::Tracer* tracer, std::string label) {
+    tracer_ = tracer;
+    label_ = std::move(label);
+  }
+
  private:
   struct RunExtent {
     std::size_t offset = 0;
@@ -137,6 +159,8 @@ class SpillMerger {
   const Input mode_;
   const std::size_t threshold_;
   MemoryGauge* const gauge_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string label_;
 
   std::string buffer_;               // kUnsortedBlocks batch
   std::vector<std::string> parts_;   // kSortedParts batch

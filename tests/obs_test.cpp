@@ -1,0 +1,417 @@
+// Tests for the observability layer (src/obs/ plus the telemetry plumbed
+// through the streaming executor): record counting, concurrent span
+// recording (the TSan job drives this test under -fsanitize=thread), JSON
+// escaping, and — the metrics-correctness core — per-node counters
+// cross-validated against goldens derived from the batch runner for the
+// stream-chain, forced-spill, window, and rewritten top-N node shapes,
+// plus blocked-time accrual and early-exit cause attribution.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compile/optimize.h"
+#include "compile/plan.h"
+#include "exec/runner.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/dataflow.h"
+#include "unixcmd/registry.h"
+
+namespace kq {
+namespace {
+
+synth::SynthesisCache& cache() {
+  static synth::SynthesisCache c;
+  return c;
+}
+
+// Compiles a pipeline the way the CLI does; force_sequential reproduces
+// k=1 lowering (streamable stages fuse into per-block chains, window
+// stages become kWindowStream tails).
+std::vector<exec::ExecStage> stages_for(const std::string& pipeline,
+                                        bool rewrite = false,
+                                        bool force_sequential = false) {
+  auto parsed = compile::parse_pipeline(pipeline);
+  EXPECT_TRUE(parsed.has_value()) << pipeline;
+  compile::Plan plan = compile::compile_pipeline(*parsed, cache());
+  if (rewrite) compile::rewrite_bounded_windows(plan);
+  if (force_sequential)
+    for (auto& stage : plan.stages) stage.parallel = false;
+  compile::eliminate_intermediate_combiners(plan);
+  return compile::lower_plan(plan);
+}
+
+std::string mixed_lines(int n) {
+  std::string input;
+  for (int i = 0; i < n; ++i)
+    input += (i % 3 ? "alpha beta gamma\n" : "omega\n");
+  return input;
+}
+
+// ------------------------------------------------------- record counting --
+
+TEST(CountRecords, DelimiterOccurrencesPlusTrailingPartial) {
+  EXPECT_EQ(obs::count_records("", '\n'), 0u);
+  EXPECT_EQ(obs::count_records("a\nb\nc\n", '\n'), 3u);
+  EXPECT_EQ(obs::count_records("a\nb\nc", '\n'), 3u);  // unterminated tail
+  EXPECT_EQ(obs::count_records("\n\n\n", '\n'), 3u);
+  EXPECT_EQ(obs::count_records("no delimiter at all", '\n'), 1u);
+  EXPECT_EQ(obs::count_records("a,b,", ','), 2u);
+  EXPECT_EQ(obs::count_records(std::string_view("a\0b\0", 4), '\0'), 2u);
+}
+
+// ------------------------------------------------------------- tracer --
+
+TEST(Tracer, ConcurrentRecordingLosesNothing) {
+  // 8 threads hammer the sharded recorder; the TSan CI job compiles this
+  // test with -fsanitize=thread, so any unsynchronized access to a shard
+  // or the thread-name table fails there.
+  obs::Tracer tracer(/*shards=*/4);  // fewer shards than threads: contend
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      tracer.set_thread_name("worker " + std::to_string(t));
+      for (int i = 0; i < kSpans; ++i) {
+        auto span = tracer.span("unit of work", "test");
+        span.arg("thread", static_cast<std::uint64_t>(t));
+        span.arg("i", static_cast<std::uint64_t>(i));
+      }
+      tracer.instant("done", "test");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(), kThreads * (kSpans + 1));
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 3\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Tracer, EscapesJsonSpecialsInNames) {
+  obs::Tracer tracer;
+  { auto span = tracer.span("quote\" back\\slash \n tab\t ctl\x01", "test"); }
+  tracer.set_thread_name("name \"with\" quotes");
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\" back\\\\slash \\n tab\\t ctl\\u0001"),
+            std::string::npos);
+  EXPECT_NE(json.find("name \\\"with\\\" quotes"), std::string::npos);
+  for (char c : json)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x09) << "raw control byte";
+}
+
+TEST(Tracer, InertSpanAndNullHelpersAreSafe) {
+  // The disabled fast path: null tracer, inert spans, no recording.
+  auto span = obs::span(nullptr, "never recorded", "test");
+  span.arg("ignored", 1);
+  span.finish();
+  obs::instant(nullptr, "never recorded", "test");
+  obs::Tracer tracer;
+  { auto moved = std::move(span); }  // moving an inert span records nothing
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+// ----------------------------------------- counters vs batch-run goldens --
+
+TEST(Counters, StreamChainMatchesGolden) {
+  // grep a | tr a-z A-Z fuses into one per-block stream chain; its counters
+  // must reconcile exactly with the input and the batch runner's output.
+  auto stages = stages_for("grep a | tr a-z A-Z", /*rewrite=*/false,
+                           /*force_sequential=*/true);
+  const std::string input = mixed_lines(3000);
+  const std::string golden = exec::run_serial(stages, input).output;
+
+  exec::ThreadPool pool(2);
+  stream::StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 512;
+  config.stats = true;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, golden);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  const stream::NodeMetrics& node = r.nodes[0];
+  EXPECT_EQ(node.memory, "stateless-stream");
+  EXPECT_EQ(node.in_bytes, input.size());
+  EXPECT_EQ(node.records_in, obs::count_records(input, '\n'));
+  EXPECT_EQ(node.out_bytes, golden.size());
+  EXPECT_EQ(node.records_out, obs::count_records(golden, '\n'));
+  EXPECT_GT(node.pool_hits + node.pool_misses, 0u);
+  EXPECT_EQ(node.early_exit, "");
+}
+
+TEST(Counters, ForcedSpillSortMatchesGolden) {
+  // A parallel merge-combined sort pushed over its spill threshold: the
+  // node's spill counters must show the external runs, and records/bytes
+  // must still reconcile exactly (sort permutes, never drops).
+  auto stages = stages_for("tr A-Z a-z | sort");
+  std::string input;
+  for (int i = 20000; i > 0; --i)
+    input += "Key" + std::to_string(i) + "\n";
+  const std::string golden = exec::run_serial(stages, input).output;
+
+  exec::ThreadPool pool(4);
+  stream::StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 2048;
+  config.spill_threshold = 8192;  // force sorted runs onto disk
+  config.stats = true;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, golden);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  const stream::NodeMetrics& node = r.nodes[0];
+  EXPECT_EQ(node.memory, "sortable-spill");
+  EXPECT_EQ(node.in_bytes, input.size());
+  EXPECT_EQ(node.records_in, obs::count_records(input, '\n'));
+  EXPECT_EQ(node.out_bytes, golden.size());
+  EXPECT_EQ(node.records_out, node.records_in);
+  EXPECT_GT(node.spill_runs, 0);
+  EXPECT_GT(node.spilled_bytes, 0u);
+  EXPECT_EQ(node.spilled_bytes, r.spilled_bytes);
+}
+
+TEST(Counters, WindowStageMatchesGolden) {
+  // tail -n 10 as a window-terminated chain: absorbs everything, emits
+  // exactly the 10-record window.
+  auto stages = stages_for("tail -n 10", /*rewrite=*/false,
+                           /*force_sequential=*/true);
+  ASSERT_EQ(stages.size(), 1u);
+  ASSERT_EQ(stages[0].memory_class, exec::MemoryClass::kWindowStream);
+  const std::string input = mixed_lines(5000);
+  const std::string golden = exec::run_serial(stages, input).output;
+
+  exec::ThreadPool pool(2);
+  stream::StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 256;
+  config.stats = true;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, golden);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  const stream::NodeMetrics& node = r.nodes[0];
+  EXPECT_EQ(node.memory, "window-stream");
+  EXPECT_EQ(node.in_bytes, input.size());
+  EXPECT_EQ(node.records_in, obs::count_records(input, '\n'));
+  EXPECT_EQ(node.records_out, 10u);
+  EXPECT_EQ(node.out_bytes, golden.size());
+}
+
+TEST(Counters, RewrittenTopNMatchesGolden) {
+  // The rewrite pass fuses sort | head -n 10 into one O(N) window node;
+  // its counters must show full consumption and a 10-record emission.
+  auto stages = stages_for("sort | head -n 10", /*rewrite=*/true);
+  ASSERT_EQ(stages.size(), 1u);
+  ASSERT_EQ(stages[0].memory_class, exec::MemoryClass::kWindowStream);
+  std::string input;
+  for (int i = 5000; i > 0; --i) input += "k" + std::to_string(i) + "\n";
+  const std::string golden = exec::run_serial(stages, input).output;
+
+  exec::ThreadPool pool(2);
+  stream::StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 512;
+  config.stats = true;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, golden);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0].memory, "window-stream");
+  EXPECT_EQ(r.nodes[0].records_in, obs::count_records(input, '\n'));
+  EXPECT_EQ(r.nodes[0].records_out, 10u);
+  EXPECT_EQ(r.nodes[0].out_bytes, golden.size());
+}
+
+TEST(Counters, StatsOffLeavesMetricsZero) {
+  // Counters exist only under --stats; the default path must not pay for
+  // (or fabricate) them.
+  auto stages = stages_for("grep a | tr a-z A-Z", /*rewrite=*/false,
+                           /*force_sequential=*/true);
+  const std::string input = mixed_lines(500);
+  exec::ThreadPool pool(2);
+  stream::StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 512;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.nodes.size(), 1u);
+  // in_bytes/out_bytes predate the telemetry layer and stay on; the
+  // stats-only counters must remain untouched.
+  EXPECT_EQ(r.nodes[0].records_in, 0u);
+  EXPECT_EQ(r.nodes[0].records_out, 0u);
+  EXPECT_EQ(r.nodes[0].memory, "");
+  EXPECT_EQ(r.nodes[0].early_exit, "");
+}
+
+// ------------------------------------- blocked time and early-exit cause --
+
+TEST(Counters, SendBlockedTimeAccruesAgainstSlowConsumer) {
+  // A parallel concat node feeding a stream chain whose sink sleeps per
+  // block: the chain pulls at sink speed, the bounded link fills, and the
+  // upstream node's pushes must wait — the send-blocked counter is exactly
+  // that wait. (The final node's push *is* the sink call, so only an
+  // inter-node channel can accrue send-blocked time.)
+  std::vector<exec::ExecStage> stages;
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("tr a-z A-Z");
+    s.parallel = true;
+    s.concat_combiner = true;
+    s.combiner_name = "(concat a b)";
+    s.combine = [](const std::vector<std::string>& parts)
+        -> std::optional<std::string> {
+      std::string out;
+      for (const auto& p : parts) out += p;
+      return out;
+    };
+    stages.push_back(std::move(s));
+  }
+  {
+    exec::ExecStage s;
+    s.command = cmd::make_command_line("grep ALPHA");
+    ASSERT_NE(s.command, nullptr);
+    s.memory_class = exec::MemoryClass::kStatelessStream;
+    stages.push_back(std::move(s));
+  }
+  const std::string input = mixed_lines(2000);
+  exec::ThreadPool pool(4);
+  stream::StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 256;  // ~140 blocks
+  config.max_inflight = 2;
+  config.stats = true;
+  std::istringstream in(input);
+  std::string output;
+  stream::Sink sink = [&output](std::string_view bytes) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    output.append(bytes);
+    return true;
+  };
+  stream::StreamResult r =
+      stream::run_streaming(stages, in, sink, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  EXPECT_GT(r.nodes[0].send_blocked_ns, 0u);
+}
+
+TEST(Counters, PrefixEarlyExitCauseAttributed) {
+  // head satisfies its prefix and stops consuming: the node must report
+  // prefix-satisfied and the reader must stop long before end of input.
+  auto stages = stages_for("head -n 3", /*rewrite=*/false,
+                           /*force_sequential=*/true);
+  const std::string input = mixed_lines(100000);  // ~1.5 MB
+  exec::ThreadPool pool(2);
+  stream::StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 4096;
+  config.stats = true;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0].early_exit, "prefix-satisfied");
+  EXPECT_LT(r.bytes_read, input.size() / 4);
+}
+
+TEST(Counters, DownstreamClosedCauseAttributed) {
+  // awk materializes and re-emits many blocks; head -n 1 closes after the
+  // first, so the upstream node's early exit is downstream-closed.
+  auto stages = stages_for("awk '{print $1}' | head -n 1",
+                           /*rewrite=*/false, /*force_sequential=*/true);
+  ASSERT_EQ(stages.size(), 2u);
+  const std::string input = mixed_lines(20000);
+  exec::ThreadPool pool(2);
+  stream::StreamConfig config;
+  config.parallelism = 2;
+  config.block_size = 256;
+  config.stats = true;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  ASSERT_EQ(r.nodes.size(), 2u);
+  EXPECT_EQ(r.nodes[0].early_exit, "downstream-closed");
+}
+
+// -------------------------------------------------- batch-mode metrics --
+
+TEST(Counters, BatchStageMetricsReconcile) {
+  // The batch runner's per-stage byte accounting (surfaced by
+  // `kumquat run --batch --stats`) must chain: each stage's output bytes
+  // are the next stage's input bytes, ends anchored at the real sizes.
+  auto stages = stages_for("tr A-Z a-z | sort | uniq -c");
+  const std::string input = mixed_lines(2000);
+  exec::ThreadPool pool(4);
+  exec::RunConfig config{4, /*use_elimination=*/true};
+  exec::RunResult result = exec::run_pipeline(stages, input, pool, config);
+  ASSERT_EQ(result.stages.size(), stages.size());
+  EXPECT_EQ(result.stages.front().in_bytes, input.size());
+  EXPECT_EQ(result.stages.back().out_bytes, result.output.size());
+  for (std::size_t i = 0; i + 1 < result.stages.size(); ++i)
+    EXPECT_EQ(result.stages[i].out_bytes, result.stages[i + 1].in_bytes)
+        << "stage " << i;
+}
+
+// --------------------------------------------- end-to-end trace content --
+
+TEST(Tracer, StreamingRunEmitsTaxonomySpans) {
+  // A spilling pipeline with the tracer attached must record the documented
+  // span names (docs/OBSERVABILITY.md): source fills, node lifetimes,
+  // per-block work, and spill runs — and serialize to well-formed JSON.
+  auto stages = stages_for("tr A-Z a-z | sort");
+  std::string input;
+  for (int i = 8000; i > 0; --i) input += "Key" + std::to_string(i) + "\n";
+  exec::ThreadPool pool(4);
+  stream::StreamConfig config;
+  config.parallelism = 4;
+  config.block_size = 2048;
+  config.spill_threshold = 8192;
+  config.stats = true;
+  obs::Tracer tracer;
+  config.tracer = &tracer;
+  std::string output;
+  stream::StreamResult r =
+      stream::run_streaming_string(stages, input, &output, pool, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(output, exec::run_serial(stages, input).output);
+  EXPECT_GT(tracer.event_count(), 0u);
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  for (const char* name :
+       {"\"source-fill\"", "\"node: ", "worker-chunk", "spill-run",
+        "spill-merge"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace kq

@@ -9,7 +9,9 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <functional>
 #include <sstream>
+#include <streambuf>
 #include <thread>
 
 #include "bench_support/catalog.h"
@@ -175,6 +177,58 @@ TEST(BlockReader, PendingRecordsFlushBeforeBlockingOnIdlePipe) {
   EXPECT_EQ(collected, "aaaa\nbbbb\ncccc\n");  // all without EOF or hang
   ::close(fds[1]);
   ::close(fds[0]);
+}
+
+// An endless istream source: serves a repeating record block forever and
+// fires a callback once a threshold of bytes has been served — the shape
+// of a process substitution or decompressor that never reaches EOF.
+class EndlessStreambuf : public std::streambuf {
+ public:
+  EndlessStreambuf(std::function<void()> on_threshold, std::size_t threshold)
+      : on_threshold_(std::move(on_threshold)), threshold_(threshold) {
+    for (int i = 0; i < 47; ++i) chunk_ += "0123456789\n";
+  }
+  std::size_t served() const { return served_; }
+
+ protected:
+  int_type underflow() override {
+    if (!fired_ && served_ >= threshold_) {
+      fired_ = true;
+      on_threshold_();
+    }
+    served_ += chunk_.size();
+    setg(chunk_.data(), chunk_.data(), chunk_.data() + chunk_.size());
+    return traits_type::to_int_type(chunk_[0]);
+  }
+
+ private:
+  std::string chunk_;
+  std::function<void()> on_threshold_;
+  std::size_t threshold_;
+  std::size_t served_ = 0;
+  bool fired_ = false;
+};
+
+TEST(BlockReader, CancelMidFillStopsIstreamSource) {
+  // cancel() must take effect *during* a fill, not only between blocks:
+  // with a 1 MiB block and an endless istream, a source that only checks
+  // the flag per block would keep pulling the full megabyte after the
+  // cancel lands. The istream source reads in bounded slices and rechecks
+  // between them, so the bytes served stay within a few slices of the
+  // cancellation point. Regression test for the istream half of the
+  // poll-driven fd cancel fix.
+  BlockReader* reader_ptr = nullptr;
+  EndlessStreambuf buf([&reader_ptr] { reader_ptr->cancel(); },
+                       /*threshold=*/1000);
+  std::istream in(&buf);
+  BlockReader reader(in, {1 << 20, '\n'});
+  reader_ptr = &reader;
+  std::size_t delivered = 0;
+  while (auto block = reader.next()) delivered += block->size();
+  EXPECT_EQ(reader.error(), 0);  // cancellation is not a read failure
+  EXPECT_LT(buf.served(), std::size_t(64) * 1024)
+      << "fill kept draining the source after cancel";
+  EXPECT_LE(delivered, buf.served());
 }
 
 TEST(BlockReader, CancelWakesReadBlockedOnIdlePipe) {
