@@ -3,6 +3,7 @@
 //
 //   kumquat synthesize '<command>'          synthesize and print combiners
 //   kumquat compile '<pipeline>'            print the parallel plan
+//   kumquat check [--json] '<pipeline>'     static diagnostics, no execution
 //   kumquat run [-k N] [--no-opt] [--stream|--batch] [--block-size N]
 //               '<pipeline>'                execute data-parallel,
 //                                           stdin -> stdout
@@ -26,6 +27,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_support/catalog.h"
+#include "check/check.h"
 #include "compile/optimize.h"
 #include "compile/plan.h"
 #include "obs/trace.h"
@@ -114,9 +117,18 @@ std::optional<CompiledPipeline> compile_line(const std::string& pipeline,
   return out;
 }
 
-int cmd_compile(const std::string& pipeline, bool rewrite) {
+// `compile` prints the plan with the analyzer's diagnostics inline next to
+// the memory:/rewritten-from: annotations — the diagnostics come from the
+// same check::analyze call `kumquat check` renders, so the two verbs can
+// never disagree. With --check the verdict also drives the exit code
+// (0 clean, 1 warnings, 2 errors); without it compile keeps exit 0.
+int cmd_compile(const std::string& pipeline, bool rewrite, bool with_check) {
   auto compiled = compile_line(pipeline, rewrite);
   if (!compiled) return 2;
+  check::Options check_options;
+  check_options.rewrites_enabled = rewrite;
+  check::Report report =
+      check::analyze(compiled->plan, compiled->stages, check_options);
   std::cout << "plan: " << compiled->plan.parallelized() << "/"
             << compiled->plan.total() << " stages parallel, "
             << compiled->plan.eliminated() << " combiner(s) eliminated\n";
@@ -143,8 +155,76 @@ int cmd_compile(const std::string& pipeline, bool rewrite) {
       std::cout << "    rewritten-from: " << stage.rewritten_from << "\n";
     std::cout << "    memory:   "
               << exec::memory_class_name(lowered.memory_class) << "\n";
+    // A multi-stage diagnostic (a rewrite near-miss span) prints once, at
+    // the first stage of its span.
+    for (const check::Diagnostic& d : report.diagnostics)
+      if (d.stage_begin == static_cast<int>(i))
+        std::cout << "    check:    " << check::format_diagnostic(d) << "\n";
+  }
+  if (with_check) {
+    std::cout << "check: " << report.status() << " (" << report.errors()
+              << " error(s), " << report.warnings() << " warning(s), "
+              << report.infos() << " info)\n";
+    return report.exit_code();
   }
   return 0;
+}
+
+// `check`: the static analyzer as a verb. Analyzes the compiled plan
+// without executing anything; --catalog sweeps every pipeline of the
+// 70-script crossval catalog instead of one operand. Exit code: 0 clean
+// (at most info), 1 warnings, 2 errors.
+int cmd_check(const std::string& pipeline, bool rewrite, bool json,
+              std::size_t spill_threshold, bool catalog) {
+  check::Options options;
+  options.spill_threshold = spill_threshold;
+  options.rewrites_enabled = rewrite;
+  std::vector<check::PipelineReport> reports;
+  if (catalog) {
+    // The catalog's file-consuming stages (comm, xargs, cat operands) need
+    // their fixtures installed in a VFS before make_command resolves them.
+    vfs::Vfs fs;
+    synth::SynthesisCache cache;
+    for (const bench::Script& script : bench::all_scripts()) {
+      bench::prepare_input(script, 1 << 10, 1, fs);
+      for (const std::string& line : script.pipelines) {
+        std::string error;
+        auto parsed = compile::parse_pipeline(line, &error);
+        if (!parsed) {
+          std::cerr << "kumquat: " << script.suite << "/" << script.name
+                    << ": " << error << "\n";
+          return 2;
+        }
+        compile::Plan plan =
+            compile::compile_pipeline(*parsed, cache, {}, &fs);
+        if (rewrite) compile::rewrite_bounded_windows(plan);
+        compile::eliminate_intermediate_combiners(plan);
+        std::vector<exec::ExecStage> stages = compile::lower_plan(plan);
+        check::PipelineReport entry;
+        entry.name = script.suite + "/" + script.name;
+        entry.pipeline = line;
+        entry.report = check::analyze(plan, stages, options);
+        reports.push_back(std::move(entry));
+      }
+    }
+  } else {
+    auto compiled = compile_line(pipeline, rewrite);
+    if (!compiled) return 2;
+    check::PipelineReport entry;
+    entry.name = pipeline;
+    entry.pipeline = pipeline;
+    entry.report = check::analyze(compiled->plan, compiled->stages, options);
+    reports.push_back(std::move(entry));
+  }
+  if (json) {
+    check::write_json(reports, std::cout);
+  } else {
+    for (const check::PipelineReport& entry : reports) {
+      if (catalog) std::cout << "== " << entry.name << "\n";
+      check::render_human(entry.report, entry.pipeline, std::cout);
+    }
+  }
+  return check::exit_code(reports);
 }
 
 // Human-readable ns -> "12.3ms"-style duration for the --stats table.
@@ -205,7 +285,20 @@ void print_batch_stats(const exec::RunResult& result) {
 int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
             std::size_t block_size, std::size_t spill_threshold,
             char delimiter, bool rewrite, bool stats,
-            const std::string& trace_path) {
+            const std::string& trace_path, bool check_only) {
+  // --check: static analysis of the exact plan this run would execute,
+  // then exit with the analyzer's verdict instead of reading stdin.
+  if (check_only) {
+    auto compiled = compile_line(pipeline, rewrite);
+    if (!compiled) return 2;
+    check::Options options;
+    options.spill_threshold = spill_threshold;
+    options.rewrites_enabled = rewrite;
+    check::Report report =
+        check::analyze(compiled->plan, compiled->stages, options);
+    check::render_human(report, pipeline, std::cout);
+    return report.exit_code();
+  }
   // Fail on an unwritable trace path *before* compiling or consuming any
   // input: a run whose trace silently vanished is worse than no run.
   std::ofstream trace_out;
@@ -339,13 +432,16 @@ std::size_t parse_block_size(const char* text) {
 void usage() {
   std::cerr << "usage:\n"
                "  kumquat synthesize '<command>'\n"
-               "  kumquat compile [--no-rewrite] '<pipeline>'\n"
+               "  kumquat compile [--no-rewrite] [--check] '<pipeline>'\n"
+               "  kumquat check [--json] [--no-rewrite] "
+               "[--spill-threshold N[K|M|G]|0]\n"
+               "                [--catalog | '<pipeline>']\n"
                "  kumquat run [-k N] [--no-opt] [--no-rewrite] "
                "[--stream|--batch]\n"
                "              [--block-size N[K|M|G]] "
                "[--spill-threshold N[K|M|G]|0]\n"
                "              [--delimiter C] [--stats] [--trace-json FILE]\n"
-               "              '<pipeline>'  (stdin -> stdout)\n"
+               "              [--check] '<pipeline>'  (stdin -> stdout)\n"
                "\n"
                "  run executes the streaming dataflow runtime by default\n"
                "  (bounded memory, default 1M blocks). Nodes that would\n"
@@ -364,7 +460,16 @@ void usage() {
                "  (records, bytes, blocked time, spill activity). "
                "--trace-json\n"
                "  writes a Chrome trace-event file loadable in Perfetto\n"
-               "  (see docs/OBSERVABILITY.md).\n";
+               "  (see docs/OBSERVABILITY.md).\n"
+               "\n"
+               "  check analyzes the compiled plan without executing it and\n"
+               "  emits coded diagnostics (KQ-MEM, KQ-PROBE, KQ-ORDER,\n"
+               "  KQ-DEAD, KQ-REWRITE, KQ-EXEC — see docs/CHECKS.md); exit\n"
+               "  code 0 = clean, 1 = warnings, 2 = errors. --json emits the\n"
+               "  versioned machine-readable document; --catalog sweeps the\n"
+               "  70-pipeline crossval catalog. `run --check` and `compile\n"
+               "  --check` apply the same analyzer to the plan those verbs\n"
+               "  would use.\n";
 }
 
 }  // namespace
@@ -378,10 +483,13 @@ int main(int argc, char** argv) {
   if (verb == "synthesize") return cmd_synthesize(argv[2]);
   if (verb == "compile") {
     bool rewrite = true;
+    bool with_check = false;
     std::string pipeline;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--no-rewrite") == 0) {
         rewrite = false;
+      } else if (std::strcmp(argv[i], "--check") == 0) {
+        with_check = true;
       } else if (std::strncmp(argv[i], "--", 2) == 0) {
         // A typo'd flag silently compiled as the pipeline would mislead
         // anyone comparing rewritten vs unrewritten plans.
@@ -401,7 +509,52 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    return cmd_compile(pipeline, rewrite);
+    return cmd_compile(pipeline, rewrite, with_check);
+  }
+  if (verb == "check") {
+    bool rewrite = true;
+    bool json = false;
+    bool catalog = false;
+    std::size_t spill_threshold = 64 << 20;
+    std::string pipeline;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--no-rewrite") == 0) {
+        rewrite = false;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else if (std::strcmp(argv[i], "--catalog") == 0) {
+        catalog = true;
+      } else if (std::strcmp(argv[i], "--spill-threshold") == 0 &&
+                 i + 1 < argc) {
+        ++i;
+        if (std::strcmp(argv[i], "0") == 0) {
+          spill_threshold = 0;
+        } else {
+          spill_threshold = parse_block_size(argv[i]);
+          if (spill_threshold == 0) {
+            usage();
+            return 2;
+          }
+        }
+      } else if (std::strncmp(argv[i], "--", 2) == 0) {
+        // A typo'd flag silently analyzed as the pipeline would report
+        // diagnostics for the wrong thing.
+        std::cerr << "kumquat: check: unknown option " << argv[i] << "\n";
+        return 2;
+      } else if (!pipeline.empty()) {
+        std::cerr << "kumquat: check: unexpected operand '" << argv[i]
+                  << "' (quote the pipeline)\n";
+        return 2;
+      } else {
+        pipeline = argv[i];
+      }
+    }
+    if (catalog != pipeline.empty()) {
+      // Exactly one of --catalog / a pipeline operand must be given.
+      usage();
+      return 2;
+    }
+    return cmd_check(pipeline, rewrite, json, spill_threshold, catalog);
   }
   if (verb == "run") {
     int k = 4;
@@ -412,6 +565,7 @@ int main(int argc, char** argv) {
     std::size_t spill_threshold = 64 << 20;
     char delimiter = '\n';
     bool stats = false;
+    bool check_only = false;
     std::string trace_path;
     std::string pipeline;
     for (int i = 2; i < argc; ++i) {
@@ -421,6 +575,8 @@ int main(int argc, char** argv) {
         optimize = false;
       } else if (std::strcmp(argv[i], "--no-rewrite") == 0) {
         rewrite = false;
+      } else if (std::strcmp(argv[i], "--check") == 0) {
+        check_only = true;
       } else if (std::strcmp(argv[i], "--stream") == 0) {
         streaming = true;
       } else if (std::strcmp(argv[i], "--batch") == 0) {
@@ -471,7 +627,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_run(pipeline, k, optimize, streaming, block_size,
-                   spill_threshold, delimiter, rewrite, stats, trace_path);
+                   spill_threshold, delimiter, rewrite, stats, trace_path,
+                   check_only);
   }
   usage();
   return 2;

@@ -52,6 +52,7 @@ PlannedStage make_fused_stage(const Plan& plan, std::size_t first,
   fused.parsed.display = command->display_name();
   fused.command = std::move(command);
   fused.rewritten_from = std::move(from);
+  fused.seq_reason = SeqReason::kFusedWindow;
   return fused;  // sequential, no synthesis: lowers to kWindowStream
 }
 

@@ -16,6 +16,18 @@ int Plan::parallelized() const {
   return n;
 }
 
+const char* seq_reason_name(SeqReason reason) {
+  switch (reason) {
+    case SeqReason::kParallel: return "parallel";
+    case SeqReason::kUnknownCommand: return "unknown-command";
+    case SeqReason::kSynthesisFailed: return "synthesis-failed";
+    case SeqReason::kRerunNoReduce: return "rerun-no-reduce";
+    case SeqReason::kProbeGuard: return "probe-guard";
+    case SeqReason::kFusedWindow: return "fused-window";
+  }
+  return "?";
+}
+
 int Plan::eliminated() const {
   int n = 0;
   for (const PlannedStage& s : stages)
@@ -34,6 +46,8 @@ Plan compile_pipeline(const ParsedPipeline& parsed,
     stage.command = cmd::make_command(parsed_stage.argv, &error, fs);
     if (!stage.command) {
       // Unknown command: keep the stage but it can only run serially.
+      stage.seq_reason = SeqReason::kUnknownCommand;
+      stage.seq_detail = error;
       plan.stages.push_back(std::move(stage));
       continue;
     }
@@ -54,8 +68,15 @@ Plan compile_pipeline(const ParsedPipeline& parsed,
       if (rerun_only && !reduces) {
         stage.sequential_rerun = true;
         stage.parallel = false;
+        stage.seq_reason = SeqReason::kRerunNoReduce;
+        stage.seq_detail =
+            "only combiner is rerun and the command does not reduce "
+            "(output/input ratio " +
+            std::to_string(synth_result.reduction_ratio) + " above " +
+            std::to_string(options.rerun_reduction_threshold) + ")";
       } else {
         stage.parallel = true;
+        stage.seq_reason = SeqReason::kParallel;
       }
       // Probe-coverage guard: a command whose declared scale bound (a
       // head/tail count, a sed line address) exceeds every certification
@@ -69,7 +90,16 @@ Plan compile_pipeline(const ParsedPipeline& parsed,
       if (bound && *bound > synth::kProbeCountCap) {
         stage.parallel = false;
         stage.sequential_rerun = false;
+        stage.seq_reason = SeqReason::kProbeGuard;
+        stage.probe_bound = *bound;
+        stage.seq_detail =
+            "declared scale bound " + std::to_string(*bound) +
+            " exceeds the certification probe cap " +
+            std::to_string(synth::kProbeCountCap);
       }
+    } else {
+      stage.seq_reason = SeqReason::kSynthesisFailed;
+      stage.seq_detail = synth_result.failure_reason;
     }
     plan.stages.push_back(std::move(stage));
   }

@@ -29,6 +29,22 @@ struct PlanOptions {
   obs::Tracer* tracer = nullptr;
 };
 
+// Why the planner classified a stage the way it did. compile_pipeline
+// records the rationale alongside the decision so the static analyzer
+// (`kumquat check`, src/check/) and `kumquat compile` can explain the plan
+// instead of re-deriving it from bare flags — the two renderings can never
+// disagree because both read the same record.
+enum class SeqReason {
+  kParallel,         // not sequential: the stage runs data-parallel
+  kUnknownCommand,   // make_command failed (parse error in seq_detail)
+  kSynthesisFailed,  // no plausible combiner (reason in seq_detail)
+  kRerunNoReduce,    // rerun-only combiner and the command does not reduce
+  kProbeGuard,       // declared scale bound exceeds every certification probe
+  kFusedWindow,      // created sequential by rewrite_bounded_windows
+};
+
+const char* seq_reason_name(SeqReason reason);
+
 struct PlannedStage {
   ParsedStage parsed;
   cmd::CommandPtr command;
@@ -42,6 +58,14 @@ struct PlannedStage {
   // for ordinary stages). `kumquat compile` prints it as the
   // `rewritten-from:` annotation.
   std::string rewritten_from;
+  // Classification rationale (see SeqReason). `seq_detail` carries the
+  // human-readable specifics: the registry's parse error, the synthesis
+  // failure reason, or the measured reduction ratio. For kProbeGuard,
+  // `probe_bound` is the command's declared scale bound that outran the
+  // probe cap (synth::kProbeCountCap).
+  SeqReason seq_reason = SeqReason::kParallel;
+  std::string seq_detail;
+  long probe_bound = 0;
 };
 
 struct Plan {

@@ -5,12 +5,25 @@
 namespace kq::shape {
 
 std::string Shape::to_string() const {
-  auto dim = [](const DimConfig& d) {
-    return "<" + std::to_string(d.min_count) + "," +
-           std::to_string(d.max_count) + "," + std::to_string(d.distinct_pct) +
-           "%>";
+  // Built by appending into one buffer rather than chained string
+  // operator+: the temporaries of the chained form trip GCC 12's
+  // -Wrestrict false positive inside libstdc++ (GCC PR 105329), which
+  // used to need a blanket -Wno-restrict in the -Werror build.
+  std::string out;
+  auto dim = [&out](const char* label, const DimConfig& d) {
+    out += label;
+    out += '<';
+    out += std::to_string(d.min_count);
+    out += ',';
+    out += std::to_string(d.max_count);
+    out += ',';
+    out += std::to_string(d.distinct_pct);
+    out += "%>";
   };
-  return "lines" + dim(lines) + " words" + dim(words) + " chars" + dim(chars);
+  dim("lines", lines);
+  dim(" words", words);
+  dim(" chars", chars);
+  return out;
 }
 
 Shape seed_shape() { return Shape{}; }

@@ -52,9 +52,14 @@ SynthesisResult synthesize(const cmd::Command& f,
   // filtering round. When preprocessing found a numeric literal, one seed
   // shape straddles it so both behaviours of the command are exercised.
   std::vector<shape::Shape> number_shapes;
-  for (long n : literals.numbers)
-    if (n > 1 && n <= kProbeCountCap)
+  for (long n : literals.numbers) {
+    if (n > 1 && n <= kProbeCountCap) {
       number_shapes.push_back(shape::seed_shape_near_count(n));
+      result.probed_bounds.push_back(n);
+    } else if (n > kProbeCountCap) {
+      result.unprobed_bounds.push_back(n);
+    }
+  }
 
   std::vector<shape::InputPair> seed_pairs;
   for (int i = 0; i < 3; ++i)

@@ -59,6 +59,13 @@ struct SynthesisResult {
   // Output/input byte ratio over all observations; drives the compiler's
   // sequential-fallback decision for rerun-only stages (§2).
   double reduction_ratio = 1.0;
+  // Probe-bound introspection for the static analyzer (`kumquat check`):
+  // numeric literals extracted from the command line that the seed-input
+  // generator straddled with probes (1 < n <= kProbeCountCap), and those
+  // past the cap — bounds no certification observation ever crossed, so
+  // the combiner's behavior there is untested (the KQ-PROBE diagnostic).
+  std::vector<long> probed_bounds;
+  std::vector<long> unprobed_bounds;
   // True iff every observed output was newline-terminated or empty — the
   // precondition of the elimination optimization (Theorem 5).
   bool outputs_newline_terminated = true;

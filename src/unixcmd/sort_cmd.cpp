@@ -214,12 +214,21 @@ std::optional<SortSpec> SortSpec::parse(const std::vector<std::string>& flags,
   if (spec.fold_) global += "f";
   if (spec.dictionary_) global += "d";
   if (spec.unique_) global += "u";
+  // Appended, not `"-" + global`: the rvalue operator+ form trips GCC 12's
+  // -Wrestrict false positive inside libstdc++ (GCC PR 105329).
   std::string canon;
-  if (!global.empty()) canon = "-" + global;
+  if (!global.empty()) {
+    canon = "-";
+    canon += global;
+  }
   for (const SortKey& k : spec.keys_) {
     if (!canon.empty()) canon += " ";
-    canon += "-k" + std::to_string(k.start_field);
-    if (k.end_field) canon += "," + std::to_string(k.end_field);
+    canon += "-k";
+    canon += std::to_string(k.start_field);
+    if (k.end_field) {
+      canon += ",";
+      canon += std::to_string(k.end_field);
+    }
     if (k.numeric) canon += "n";
     if (k.reverse) canon += "r";
     if (k.fold) canon += "f";

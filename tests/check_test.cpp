@@ -1,0 +1,364 @@
+// Tests for the static pipeline analyzer (src/check/): one golden scenario
+// per diagnostic family (KQ-EXEC, KQ-MEM, KQ-PROBE, KQ-ORDER, KQ-DEAD,
+// KQ-REWRITE), the exit-code contract (0 clean/info, 1 warnings,
+// 2 errors), the JSON document structure, and a sweep of the full
+// 70-script crossval catalog asserting the checked-in benchmarks carry no
+// error-severity diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "bench_support/catalog.h"
+#include "check/check.h"
+#include "compile/optimize.h"
+#include "compile/pipeline.h"
+#include "compile/plan.h"
+
+namespace kq::check {
+namespace {
+
+synth::SynthesisCache& shared_cache() {
+  static synth::SynthesisCache cache;
+  return cache;
+}
+
+struct Analyzed {
+  compile::Plan plan;
+  std::vector<exec::ExecStage> stages;
+  Report report;
+};
+
+Analyzed analyze_line(const std::string& script, Options options = {},
+                      bool rewrite = true) {
+  auto parsed = compile::parse_pipeline(script);
+  EXPECT_TRUE(parsed.has_value()) << script;
+  Analyzed out;
+  out.plan = compile::compile_pipeline(*parsed, shared_cache());
+  if (rewrite) compile::rewrite_bounded_windows(out.plan);
+  compile::eliminate_intermediate_combiners(out.plan);
+  out.stages = compile::lower_plan(out.plan);
+  options.rewrites_enabled = rewrite;
+  out.report = analyze(out.plan, out.stages, options);
+  return out;
+}
+
+std::vector<const Diagnostic*> with_code(const Report& report,
+                                         const std::string& code) {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : report.diagnostics)
+    if (d.code == code) out.push_back(&d);
+  return out;
+}
+
+// ------------------------------------------------------------ verdicts --
+
+TEST(Check, CleanPipelineIsClean) {
+  auto a = analyze_line("tr A-Z a-z");
+  EXPECT_TRUE(a.report.diagnostics.empty())
+      << format_diagnostic(a.report.diagnostics.front());
+  EXPECT_EQ(a.report.exit_code(), 0);
+  EXPECT_STREQ(a.report.status(), "clean");
+  ASSERT_EQ(a.report.stages.size(), 1u);
+  EXPECT_EQ(a.report.stages[0].mode, "parallel");
+  EXPECT_EQ(a.report.stages[0].seq_reason, "parallel");
+}
+
+TEST(Check, InfoOnlyExitsZero) {
+  // A parallel sort recombines by k-way merge: order note, info severity.
+  auto a = analyze_line("sort | uniq");
+  EXPECT_EQ(a.report.errors(), 0);
+  EXPECT_EQ(a.report.warnings(), 0);
+  EXPECT_GE(a.report.infos(), 1);
+  EXPECT_EQ(a.report.exit_code(), 0);
+  EXPECT_STREQ(a.report.status(), "info");
+}
+
+TEST(Check, WarningsExitOne) {
+  auto a = analyze_line("sort | sort");
+  EXPECT_EQ(a.report.errors(), 0);
+  EXPECT_GE(a.report.warnings(), 1);
+  EXPECT_EQ(a.report.exit_code(), 1);
+  EXPECT_STREQ(a.report.status(), "warnings");
+}
+
+TEST(Check, ErrorsExitTwo) {
+  auto a = analyze_line("frobnicate | sort");
+  EXPECT_GE(a.report.errors(), 1);
+  EXPECT_EQ(a.report.exit_code(), 2);
+  EXPECT_STREQ(a.report.status(), "errors");
+}
+
+// ---------------------------------------------------------- per family --
+
+TEST(Check, KqExecOnUnresolvableStage) {
+  auto a = analyze_line("frobnicate | sort");
+  auto diags = with_code(a.report, "KQ-EXEC");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->severity, Severity::kError);
+  EXPECT_EQ(diags[0]->stage_begin, 0);
+  EXPECT_EQ(diags[0]->stage_end, 0);
+  EXPECT_EQ(diags[0]->stage, "frobnicate");
+  EXPECT_NE(diags[0]->message.find("cannot execute"), std::string::npos);
+}
+
+TEST(Check, KqMemOnMaterializeStage) {
+  // sed '$d' needs the last line, so it declares no streamable form and
+  // the runtime materializes: O(input) RSS whichever way it parallelizes.
+  auto a = analyze_line("sed '$d'");
+  auto diags = with_code(a.report, "KQ-MEM");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->severity, Severity::kWarning);
+  EXPECT_NE(diags[0]->message.find("O(input)"), std::string::npos);
+  ASSERT_EQ(a.report.stages.size(), 1u);
+  EXPECT_EQ(a.report.stages[0].memory_class, "materialize");
+}
+
+TEST(Check, KqMemOnSortWithSpillingDisabled) {
+  Options options;
+  options.spill_threshold = 0;
+  auto a = analyze_line("sort", options);
+  auto diags = with_code(a.report, "KQ-MEM");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0]->message.find("--spill-threshold 0"),
+            std::string::npos);
+  // With the default threshold the same stage is bounded: no KQ-MEM.
+  auto bounded = analyze_line("sort");
+  EXPECT_TRUE(with_code(bounded.report, "KQ-MEM").empty());
+}
+
+TEST(Check, KqMemOnDistinctWindowWithSpillingDisabled) {
+  // A *parallel* sort -u recombines by merge (sortable-spill); the
+  // distinct-set window is its sequential lowering — the plan the runtime
+  // falls back to at k=1. Force that lowering and analyze it.
+  auto parsed = compile::parse_pipeline("sort -u");
+  ASSERT_TRUE(parsed.has_value());
+  compile::Plan plan = compile::compile_pipeline(*parsed, shared_cache());
+  plan.stages[0].parallel = false;
+  auto stages = compile::lower_plan(plan);
+  ASSERT_EQ(stages[0].memory_class, exec::MemoryClass::kWindowStream);
+  Options options;
+  options.spill_threshold = 0;
+  Report report = analyze(plan, stages, options);
+  auto diags = with_code(report, "KQ-MEM");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0]->message.find("distinct"), std::string::npos);
+  // With spilling on, the window exports sorted runs: bounded, no KQ-MEM.
+  EXPECT_TRUE(with_code(analyze(plan, stages), "KQ-MEM").empty());
+  // The parallel plan with spilling off is the sort-class warning instead.
+  auto par = analyze_line("sort -u", options);
+  auto par_diags = with_code(par.report, "KQ-MEM");
+  ASSERT_EQ(par_diags.size(), 1u);
+  EXPECT_NE(par_diags[0]->message.find("--spill-threshold 0"),
+            std::string::npos);
+}
+
+TEST(Check, KqProbeOnBoundPastCap) {
+  // tail -n 5000 declares a scale bound past synth::kProbeCountCap
+  // (4096), so the probe guard keeps it sequential; the analyzer explains
+  // the guard instead of leaving a bare "sequential".
+  auto a = analyze_line("tail -n 5000");
+  auto diags = with_code(a.report, "KQ-PROBE");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->severity, Severity::kWarning);
+  EXPECT_NE(diags[0]->message.find("5000"), std::string::npos);
+  EXPECT_NE(diags[0]->message.find("4096"), std::string::npos);
+  EXPECT_NE(diags[0]->hint.find("4096"), std::string::npos);
+  ASSERT_EQ(a.report.stages.size(), 1u);
+  EXPECT_EQ(a.report.stages[0].mode, "sequential");
+  EXPECT_EQ(a.report.stages[0].seq_reason, "probe-guard");
+  // Below the cap the same command parallelizes without the lint.
+  auto below = analyze_line("tail -n 100");
+  EXPECT_TRUE(with_code(below.report, "KQ-PROBE").empty());
+}
+
+TEST(Check, KqOrderWarningOnCollationSensitiveSort) {
+  auto a = analyze_line("sort -f");
+  auto diags = with_code(a.report, "KQ-ORDER");
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->severity, Severity::kWarning);
+  EXPECT_NE(diags[0]->message.find("LC_ALL=C"), std::string::npos);
+}
+
+TEST(Check, KqOrderInfoOnParallelMerge) {
+  auto a = analyze_line("sort");
+  auto diags = with_code(a.report, "KQ-ORDER");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->severity, Severity::kInfo);
+  EXPECT_NE(diags[0]->message.find("merge"), std::string::npos);
+}
+
+TEST(Check, KqDeadOnMidPipelineCat) {
+  // A *leading* cat folds into the input source (not flagged); a
+  // mid-pipeline bare cat is the identity and is.
+  auto a = analyze_line("grep a | cat | wc -l");
+  auto diags = with_code(a.report, "KQ-DEAD");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->stage_begin, 1);
+  EXPECT_NE(diags[0]->message.find("identity"), std::string::npos);
+  EXPECT_TRUE(
+      with_code(analyze_line("cat $IN | grep a | wc -l").report, "KQ-DEAD")
+          .empty());
+}
+
+TEST(Check, KqDeadOnDoubleSort) {
+  auto a = analyze_line("sort | sort");
+  auto diags = with_code(a.report, "KQ-DEAD");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->stage_begin, 1);
+  // Different comparators are not dead: sort | sort -n re-orders.
+  EXPECT_TRUE(
+      with_code(analyze_line("sort | sort -n").report, "KQ-DEAD").empty());
+}
+
+TEST(Check, KqDeadOnUniqAfterSortU) {
+  auto a = analyze_line("sort -u | uniq");
+  auto diags = with_code(a.report, "KQ-DEAD");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->stage_begin, 1);
+  // uniq -c still does work after sort -u (it prepends counts).
+  EXPECT_TRUE(
+      with_code(analyze_line("sort -u | uniq -c").report, "KQ-DEAD")
+          .empty());
+}
+
+TEST(Check, KqRewriteNamesBlockingPrecondition) {
+  // head -c is byte mode: the top-n fusion cannot reproduce a mid-record
+  // cut, and the diagnostic must say exactly that, spanning both stages.
+  auto a = analyze_line("sort | head -c 80");
+  auto diags = with_code(a.report, "KQ-REWRITE");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0]->severity, Severity::kInfo);
+  EXPECT_EQ(diags[0]->stage_begin, 0);
+  EXPECT_EQ(diags[0]->stage_end, 1);
+  EXPECT_NE(diags[0]->message.find("byte mode"), std::string::npos);
+}
+
+TEST(Check, KqRewriteOnDisabledPass) {
+  // The pattern matches fully; the only blocker is --no-rewrite.
+  auto a = analyze_line("sort | head -n 10", {}, /*rewrite=*/false);
+  ASSERT_EQ(a.report.stages.size(), 2u);
+  auto diags = with_code(a.report, "KQ-REWRITE");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0]->message.find("--no-rewrite"), std::string::npos);
+}
+
+TEST(Check, FusedRewriteLeavesNoDiagnostic) {
+  // Fully fused: one window stage, rewrite rationale recorded, no
+  // KQ-REWRITE (the pattern no longer exists in the plan).
+  auto a = analyze_line("sort | head -n 10");
+  ASSERT_EQ(a.report.stages.size(), 1u);
+  EXPECT_EQ(a.report.stages[0].mode, "sequential");
+  EXPECT_EQ(a.report.stages[0].seq_reason, "fused-window");
+  EXPECT_EQ(a.report.stages[0].memory_class, "window-stream");
+  EXPECT_NE(a.report.stages[0].rss_model.find("top-N"), std::string::npos);
+  EXPECT_TRUE(with_code(a.report, "KQ-REWRITE").empty());
+  EXPECT_EQ(a.report.exit_code(), 0);
+}
+
+// -------------------------------------------------------------- output --
+
+TEST(Check, FormatDiagnosticCarriesCodeSeverityAndHint) {
+  Diagnostic d;
+  d.code = "KQ-MEM";
+  d.severity = Severity::kWarning;
+  d.message = "stage materializes";
+  d.hint = "bound it upstream";
+  EXPECT_EQ(format_diagnostic(d),
+            "KQ-MEM warning: stage materializes (fix: bound it upstream)");
+  d.hint.clear();
+  EXPECT_EQ(format_diagnostic(d), "KQ-MEM warning: stage materializes");
+}
+
+TEST(Check, RenderHumanShowsStagesAndVerdict) {
+  auto a = analyze_line("sort | sort");
+  std::ostringstream out;
+  render_human(a.report, "sort | sort", out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("kumquat check: sort | sort"), std::string::npos);
+  EXPECT_NE(text.find("[0] sort"), std::string::npos);
+  EXPECT_NE(text.find("KQ-DEAD"), std::string::npos);
+  EXPECT_NE(text.find("verdict: warnings"), std::string::npos);
+}
+
+TEST(Check, JsonDocumentStructure) {
+  auto a = analyze_line("sort | sort");
+  PipelineReport entry;
+  entry.name = "unit/double-sort";
+  entry.pipeline = "sort | sort";
+  entry.report = a.report;
+  std::ostringstream out;
+  write_json({entry}, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"kumquat_check_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"warnings\""), std::string::npos);
+  EXPECT_NE(json.find("\"exit_code\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit/double-sort\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\": \"KQ-DEAD\""), std::string::npos);
+  EXPECT_NE(json.find("\"seq_reason\""), std::string::npos);
+  EXPECT_NE(json.find("\"rss_model\""), std::string::npos);
+  // Exactly balanced braces/brackets — cheap structural sanity that the
+  // hand-rolled writer cannot drift on (full schema validation runs in CI
+  // via bench/check_diag_json.py).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Check, JsonEscapesQuotesAndBackslashes) {
+  auto a = analyze_line("grep '\"' | wc -l");
+  PipelineReport entry;
+  entry.name = "unit/escape";
+  entry.pipeline = "grep '\"' | wc -l";
+  entry.report = a.report;
+  std::ostringstream out;
+  write_json({entry}, out);
+  EXPECT_NE(out.str().find("grep '\\\"' | wc -l"), std::string::npos);
+}
+
+TEST(Check, WorstExitCodeAcrossReports) {
+  PipelineReport clean, warn;
+  warn.report.diagnostics.push_back(
+      {"KQ-DEAD", Severity::kWarning, 0, 0, "sort", "m", "h"});
+  EXPECT_EQ(exit_code({}), 0);
+  EXPECT_EQ(exit_code({clean}), 0);
+  EXPECT_EQ(exit_code({clean, warn}), 1);
+}
+
+// ------------------------------------------------------- catalog sweep --
+
+TEST(Check, CatalogSweepHasNoErrors) {
+  // Self-lint: every pipeline of the 70-script crossval catalog must
+  // analyze without a single error-severity diagnostic — a KQ-EXEC on a
+  // checked-in benchmark means the catalog and the registry drifted
+  // apart. Warnings are expected (collation-sensitive sorts, materialize
+  // stages are real properties of the scripts).
+  vfs::Vfs fs;
+  int pipelines = 0;
+  for (const bench::Script& script : bench::all_scripts()) {
+    bench::prepare_input(script, 1 << 10, 1, fs);
+    for (const std::string& line : script.pipelines) {
+      auto parsed = compile::parse_pipeline(line);
+      ASSERT_TRUE(parsed.has_value())
+          << script.suite << "/" << script.name << ": " << line;
+      compile::Plan plan =
+          compile::compile_pipeline(*parsed, shared_cache(), {}, &fs);
+      compile::rewrite_bounded_windows(plan);
+      compile::eliminate_intermediate_combiners(plan);
+      auto stages = compile::lower_plan(plan);
+      Report report = analyze(plan, stages);
+      for (const Diagnostic& d : report.diagnostics)
+        EXPECT_NE(d.severity, Severity::kError)
+            << script.suite << "/" << script.name << ": " << line << ": "
+            << format_diagnostic(d);
+      EXPECT_EQ(report.stages.size(), plan.stages.size());
+      ++pipelines;
+    }
+  }
+  EXPECT_GE(pipelines, 70);
+}
+
+}  // namespace
+}  // namespace kq::check

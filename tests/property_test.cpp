@@ -179,7 +179,10 @@ TEST_P(KWaySweep, DivideAndConquerAtWidthK) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, KWaySweep, ::testing::Values(2, 3, 5, 8, 16),
                          [](const ::testing::TestParamInfo<int>& info) {
-                           return "k" + std::to_string(info.param);
+                           // Append form: GCC PR 105329 (-Wrestrict).
+                           std::string name = "k";
+                           name += std::to_string(info.param);
+                           return name;
                          });
 
 }  // namespace

@@ -242,8 +242,12 @@ TEST(RewriteSpill, PathologicalNExportsRunsAndCapsOutput) {
 // run exports (WindowProcessor::seal).
 TEST(RewriteSpill, TopKSealsPendingUniqRun) {
   std::string input;
-  for (int i = 0; i < 3000; ++i)
-    input += "v" + std::to_string(i % 1500) + "\n";
+  // Appends, not chained operator+: GCC PR 105329 (-Wrestrict).
+  for (int i = 0; i < 3000; ++i) {
+    input += "v";
+    input += std::to_string(i % 1500);
+    input += "\n";
+  }
   compile::Plan baseline = plan_for("uniq -c | sort -rn | head -n 1200",
                                     false);
   compile::Plan rewritten = plan_for("uniq -c | sort -rn | head -n 1200",

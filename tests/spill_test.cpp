@@ -201,8 +201,12 @@ TEST(SpillMerger, SortedPartsMatchMergeStreams) {
   std::mt19937_64 rng(21);
   for (int p = 0; p < 40; ++p) {
     std::vector<std::string> chunk;
-    for (int i = 0; i < 20; ++i)
-      chunk.push_back("w" + std::to_string(rng() % 1000));
+    for (int i = 0; i < 20; ++i) {
+      // Append form: GCC PR 105329 (-Wrestrict).
+      std::string word = "w";
+      word += std::to_string(rng() % 1000);
+      chunk.push_back(std::move(word));
+    }
     std::string part;
     for (std::string& c : chunk) part += c + "\n";
     parts.push_back(spec->sort_stream(part));  // each part pre-sorted

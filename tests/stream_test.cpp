@@ -259,8 +259,12 @@ TEST(BlockReader, CancelWakesReadBlockedOnIdlePipe) {
 
 TEST(Channel, DeliversInOrder) {
   Channel ch(4);
-  for (std::size_t i = 0; i < 3; ++i)
-    EXPECT_TRUE(ch.push({i, "c" + std::to_string(i)}));
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Append form: GCC PR 105329 (-Wrestrict).
+    std::string payload = "c";
+    payload += std::to_string(i);
+    EXPECT_TRUE(ch.push({i, std::move(payload)}));
+  }
   ch.close();
   for (std::size_t i = 0; i < 3; ++i) {
     auto c = ch.pop();

@@ -258,8 +258,12 @@ TEST(Synthesize, CommClassifiedAsSortedInput) {
 
 TEST(Synthesize, XargsClassifiedAsFileNames) {
   vfs::Vfs fs;
-  for (int i = 0; i < 6; ++i)
-    fs.write("f" + std::to_string(i), "line a\nline b\n");
+  for (int i = 0; i < 6; ++i) {
+    // Append form: GCC PR 105329 (-Wrestrict).
+    std::string name = "f";
+    name += std::to_string(i);
+    fs.write(name, "line a\nline b\n");
+  }
   auto s = synthesize_line("xargs cat", &fs);
   EXPECT_EQ(s.result.input_class, prep::InputClass::kFileNames);
   ASSERT_TRUE(s.result.success) << s.result.failure_reason;
