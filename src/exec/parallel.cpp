@@ -1,5 +1,14 @@
 #include "exec/parallel.h"
 
+// Thread safety: no locks here by design. Each worker owns its chunk's
+// string exclusively; `chain` and `chunks` are read-only for the duration
+// of the call; and all cross-thread publication happens through
+// ThreadPool::submit / future::get, whose synchronization orders the
+// worker's writes before the caller's reads. Commands run through this
+// path must be const-callable from multiple threads (cmd::Command::run is
+// const and stateless; commands that dereference file names go through
+// vfs::Vfs, which locks).
+
 namespace kq::exec {
 
 std::vector<std::string> map_chunks(const cmd::Command& command,

@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    sync::MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -24,13 +24,13 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping
+      sync::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
+      if (queue_.empty()) return;  // stopping, and the backlog is drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    task();  // outside the lock: tasks may block or submit more work
   }
 }
 

@@ -1,15 +1,21 @@
 // A fixed-size worker pool with a FIFO task queue. Workers are joined in
 // the destructor (RAII; no detached threads), and tasks communicate results
 // through futures so worker exceptions surface at the call site.
+//
+// Thread safety: the queue and the shutdown flag are GUARDED_BY(mu_)
+// (sync::Mutex; checked by the clang-threadsafety CI job). mu_ is unranked:
+// it is a leaf lock, released before any task body runs, so it can never
+// participate in an ordering cycle with the dataflow's channel or tracer
+// locks.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "stream/sync.h"
 
 namespace kq::exec {
 
@@ -31,7 +37,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      sync::MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -41,10 +47,10 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  sync::Mutex mu_;
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -101,21 +101,21 @@ void Tracer::instant(std::string name, const char* cat) {
 }
 
 void Tracer::set_thread_name(std::string name) {
-  std::lock_guard lock(names_mu_);
+  sync::MutexLock lock(names_mu_);
   thread_names_.emplace_back(current_tid(), std::move(name));
 }
 
 void Tracer::record(Event event) {
   event.tid = current_tid();
   Shard& shard = *shards_[event.tid % shards_.size()];
-  std::lock_guard lock(shard.mu);
+  sync::MutexLock lock(shard.mu);
   shard.events.push_back(std::move(event));
 }
 
 std::size_t Tracer::event_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    sync::MutexLock lock(shard->mu);
     n += shard->events.size();
   }
   return n;
@@ -124,7 +124,7 @@ std::size_t Tracer::event_count() const {
 void Tracer::write_chrome_json(std::ostream& out) const {
   std::vector<Event> events;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    sync::MutexLock lock(shard->mu);
     events.insert(events.end(), shard->events.begin(), shard->events.end());
   }
   std::stable_sort(events.begin(), events.end(),
@@ -144,7 +144,7 @@ void Tracer::write_chrome_json(std::ostream& out) const {
   out << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
       << ", \"tid\": 0, \"args\": {\"name\": \"kumquat\"}}";
   {
-    std::lock_guard lock(names_mu_);
+    sync::MutexLock lock(names_mu_);
     for (const auto& [tid, name] : thread_names_) {
       comma();
       out << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << pid

@@ -8,7 +8,11 @@
 // Concurrency: recording is lock-sharded — each thread appends to a shard
 // keyed by its thread ordinal, so concurrent dataflow nodes almost never
 // contend on the same mutex. Serialization (write_chrome_json) locks every
-// shard once, after the run.
+// shard once, after the run. Shard and thread-name locks are sync::Mutex
+// at rank kTracerShard — the top of the lock order (docs/CONCURRENCY.md):
+// a span may be recorded while a channel-rank lock is held, never the
+// other way around — and each events vector is GUARDED_BY its shard's
+// lock, checked by the clang-threadsafety CI job.
 //
 // Disabled cost: nothing in this header runs unless a caller holds a
 // Tracer*. Instrumentation sites use the null-tolerant free helpers below
@@ -22,10 +26,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "stream/sync.h"
 
 namespace kq::obs {
 
@@ -122,8 +127,8 @@ class Tracer {
     std::size_t n_args = 0;
   };
   struct Shard {
-    std::mutex mu;
-    std::vector<Event> events;
+    sync::Mutex mu{sync::LockRank::kTracerShard};
+    std::vector<Event> events GUARDED_BY(mu);
   };
 
   std::uint64_t now_ns() const;
@@ -131,8 +136,9 @@ class Tracer {
 
   const std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::mutex names_mu_;
-  std::vector<std::pair<std::uint32_t, std::string>> thread_names_;
+  mutable sync::Mutex names_mu_{sync::LockRank::kTracerShard};
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names_
+      GUARDED_BY(names_mu_);
 };
 
 // Null-tolerant helpers: the instrumentation idiom is

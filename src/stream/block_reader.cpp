@@ -100,16 +100,30 @@ BlockReader::ReadFn fd_source(
         // A pipe read returns at most the pipe capacity (~64 KiB), so a
         // short read alone cannot distinguish "producer is saturating the
         // pipe" (keep batching toward a full block) from "producer went
-        // quiet" (flush what we have — see BlockReader::next).
-        pfd.revents = 0;
-        idle->store(::poll(&pfd, 1, 0) == 0);
+        // quiet" (flush what we have — see BlockReader::next). The poll
+        // must retry EINTR: a signal landing here would otherwise read as
+        // "idle" (poll() == -1 != 0) and trigger a spurious early flush —
+        // harmless for correctness but it shrinks blocks under signal
+        // load. A non-EINTR poll failure reports not-idle (keep batching);
+        // the main loop's poll will surface any persistent error.
+        int now;
+        do {
+          pfd.revents = 0;
+          now = ::poll(&pfd, 1, 0);
+        } while (now < 0 && errno == EINTR);
+        idle->store(now == 0);
         return static_cast<std::size_t>(got);
       }
       if (got == 0) return 0;
-      if (errno != EINTR) {  // hard error: flag it, end the stream
-        *error = errno;
-        return 0;
+      if (errno == EINTR) continue;  // signal mid-read: re-poll and retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // O_NONBLOCK fd whose readability evaporated between poll and read
+        // (another consumer, or a spurious wakeup): wait again rather than
+        // misreporting a transient condition as a hard stream error.
+        continue;
       }
+      *error = errno;  // hard error: flag it, end the stream
+      return 0;
     }
   };
 }
@@ -131,7 +145,8 @@ void BlockReader::fill() {
     eof_ = true;
     return;
   }
-  auto span = obs::span(tracer_, "source-fill", "source");
+  auto span = obs::span(tracer_.load(std::memory_order_acquire),
+                        "source-fill", "source");
   std::size_t old = pending_.size();
   pending_.resize(old + options_.block_size);
   std::size_t got = read_(pending_.data() + old, options_.block_size);

@@ -79,7 +79,12 @@ class BlockReader {
   bool cancelled() const { return cancel_->load(); }
 
   // Telemetry (src/obs/): a tracer records one "source-fill" span per fill.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  // The pointer is atomic so attaching is race-free even if it happens
+  // after the reading thread started; the runtime still wires before
+  // spawn (fills that precede the store just go untraced).
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
   // Opts in to timing the fd source's idle waits (poll timeouts while the
   // producer has nothing to read). Off by default so the untelemetered
   // read loop never touches the clock.
@@ -107,7 +112,7 @@ class BlockReader {
       std::make_shared<std::atomic<bool>>(false);
   std::shared_ptr<std::atomic<std::uint64_t>> wait_ns_ =
       std::make_shared<std::atomic<std::uint64_t>>(0);
-  obs::Tracer* tracer_ = nullptr;
+  std::atomic<obs::Tracer*> tracer_{nullptr};
   ReadFn read_;
   BlockReaderOptions options_;
   std::string pending_;  // bytes read but not yet delivered

@@ -5,26 +5,13 @@
 namespace kq::stream {
 namespace {
 
-// Waits on `cv` until `ready`, charging the wait to `blocked_ns` when a
-// counter is attached. The clock is read only when a wait is actually
-// needed, so untelemetered (or never-blocking) paths stay clock-free.
-template <typename Pred>
-void timed_wait(std::condition_variable& cv,
-                std::unique_lock<std::mutex>& lock, Pred ready,
-                std::atomic<std::uint64_t>* blocked_ns) {
-  if (ready()) return;
-  if (blocked_ns == nullptr) {
-    cv.wait(lock, ready);
-    return;
-  }
-  auto start = std::chrono::steady_clock::now();
-  cv.wait(lock, ready);
-  blocked_ns->fetch_add(
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count()),
-      std::memory_order_relaxed);
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
 }
 
 }  // namespace
@@ -41,12 +28,34 @@ void MemoryGauge::sub(std::size_t n) { current_.fetch_sub(n); }
 Channel::Channel(std::size_t capacity, MemoryGauge* gauge)
     : capacity_(capacity == 0 ? 1 : capacity), gauge_(gauge) {}
 
+// The wait helpers read the clock only when a wait is actually needed AND a
+// telemetry counter is attached, so untelemetered (or never-blocking) paths
+// stay clock-free.
+void Channel::wait_not_full(MutexLock& lock) {
+  if (closed_ || queue_.size() < capacity_) return;
+  if (send_blocked_ns_ == nullptr) {
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(lock);
+    return;
+  }
+  const auto start = Clock::now();
+  while (!closed_ && queue_.size() >= capacity_) not_full_.wait(lock);
+  send_blocked_ns_->fetch_add(ns_since(start), std::memory_order_relaxed);
+}
+
+void Channel::wait_not_empty(MutexLock& lock) {
+  if (closed_ || !queue_.empty()) return;
+  if (recv_blocked_ns_ == nullptr) {
+    while (!closed_ && queue_.empty()) not_empty_.wait(lock);
+    return;
+  }
+  const auto start = Clock::now();
+  while (!closed_ && queue_.empty()) not_empty_.wait(lock);
+  recv_blocked_ns_->fetch_add(ns_since(start), std::memory_order_relaxed);
+}
+
 bool Channel::push(Chunk chunk) {
-  std::unique_lock lock(mu_);
-  timed_wait(
-      not_full_, lock,
-      [this] { return closed_ || queue_.size() < capacity_; },
-      send_blocked_ns_);
+  MutexLock lock(mu_);
+  wait_not_full(lock);
   if (closed_) return false;
   if (gauge_) gauge_->add(chunk.bytes.size());
   queue_.push_back(std::move(chunk));
@@ -55,10 +64,8 @@ bool Channel::push(Chunk chunk) {
 }
 
 std::optional<Chunk> Channel::pop() {
-  std::unique_lock lock(mu_);
-  timed_wait(
-      not_empty_, lock, [this] { return closed_ || !queue_.empty(); },
-      recv_blocked_ns_);
+  MutexLock lock(mu_);
+  wait_not_empty(lock);
   if (queue_.empty()) return std::nullopt;  // closed and drained
   Chunk chunk = std::move(queue_.front());
   queue_.pop_front();
@@ -67,68 +74,75 @@ std::optional<Chunk> Channel::pop() {
   return chunk;
 }
 
-void Channel::close() {
-  std::lock_guard lock(mu_);
+void Channel::drain_and_wake(bool discard) {
   closed_ = true;
+  if (discard) {
+    if (gauge_) {
+      for (const Chunk& c : queue_) gauge_->sub(c.bytes.size());
+    }
+    queue_.clear();
+  }
   not_full_.notify_all();
   not_empty_.notify_all();
+}
+
+void Channel::close() {
+  MutexLock lock(mu_);
+  drain_and_wake(/*discard=*/false);
 }
 
 void Channel::abort() {
-  std::lock_guard lock(mu_);
-  closed_ = true;
-  aborted_ = true;
-  if (gauge_) {
-    for (const Chunk& c : queue_) gauge_->sub(c.bytes.size());
-  }
-  queue_.clear();
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  MutexLock lock(mu_);
+  drain_and_wake(/*discard=*/true);
 }
 
 void Channel::close_read() {
-  std::lock_guard lock(mu_);
-  closed_ = true;
+  MutexLock lock(mu_);
   read_closed_ = true;
-  if (gauge_) {
-    for (const Chunk& c : queue_) gauge_->sub(c.bytes.size());
-  }
-  queue_.clear();
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  drain_and_wake(/*discard=*/true);
 }
 
 bool Channel::read_closed() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return read_closed_;
 }
 
 Semaphore::Semaphore(std::size_t slots) : slots_(slots == 0 ? 1 : slots) {}
 
+void Semaphore::wait_ready(MutexLock& lock) {
+  if (cancelled_ || slots_ > 0) return;
+  if (blocked_ns_ == nullptr) {
+    while (!cancelled_ && slots_ == 0) cv_.wait(lock);
+    return;
+  }
+  const auto start = Clock::now();
+  while (!cancelled_ && slots_ == 0) cv_.wait(lock);
+  blocked_ns_->fetch_add(ns_since(start), std::memory_order_relaxed);
+}
+
 bool Semaphore::acquire() {
-  std::unique_lock lock(mu_);
-  timed_wait(
-      cv_, lock, [this] { return cancelled_ || slots_ > 0; }, blocked_ns_);
+  MutexLock lock(mu_);
+  wait_ready(lock);
   if (cancelled_) return false;
   --slots_;
   return true;
 }
 
 void Semaphore::release() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++slots_;
   cv_.notify_one();
 }
 
 void Semaphore::cancel() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   cancelled_ = true;
   cv_.notify_all();
 }
 
 std::string BufferPool::acquire(std::atomic<std::uint64_t>* hits,
                                 std::atomic<std::uint64_t>* misses) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (free_.empty()) {
     if (misses) misses->fetch_add(1, std::memory_order_relaxed);
     return {};
@@ -143,7 +157,7 @@ std::string BufferPool::acquire(std::atomic<std::uint64_t>* hits,
 void BufferPool::release(std::string&& buf) {
   if (buf.capacity() == 0) return;
   buf.clear();  // keeps the allocation
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (cached_bytes_ + buf.capacity() > budget_bytes_) return;  // deallocate
   cached_bytes_ += buf.capacity();
   free_.push_back(std::move(buf));

@@ -6,19 +6,29 @@
 // RAM. A Semaphore bounds the number of chunks a segment may have in
 // flight through the worker pool (its feeder acquires per submitted chunk,
 // its collector releases per emitted chunk).
+//
+// Thread safety: all three classes here are fully synchronized — every
+// mutable field is GUARDED_BY its lock (sync::Mutex, rank kChannel) and
+// the clang-threadsafety CI job proves every access holds it. See
+// docs/CONCURRENCY.md for the runtime-wide locking model.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "stream/sync.h"
+
 namespace kq::stream {
+
+using sync::CondVar;
+using sync::LockRank;
+using sync::Mutex;
+using sync::MutexLock;
 
 struct Chunk {
   std::size_t index = 0;  // position in the segment's input order
@@ -51,19 +61,19 @@ class Channel {
 
   // Blocks while the channel is full. Returns false (dropping the chunk)
   // once the channel is closed or aborted.
-  bool push(Chunk chunk);
+  bool push(Chunk chunk) EXCLUDES(mu_);
 
   // Blocks while the channel is empty. Returns nullopt once the channel is
   // closed and drained (or aborted).
-  std::optional<Chunk> pop();
+  std::optional<Chunk> pop() EXCLUDES(mu_);
 
   // End of stream: no further pushes succeed; pending chunks remain
   // poppable.
-  void close();
+  void close() EXCLUDES(mu_);
 
   // Error teardown: close and discard pending chunks so blocked peers wake
   // immediately.
-  void abort();
+  void abort() EXCLUDES(mu_);
 
   // Consumer-side close: the downstream node needs no more input (head
   // satisfied its count, or its own downstream closed). Pending chunks are
@@ -72,38 +82,49 @@ class Channel {
   // tell a clean early exit from an error teardown, and to propagate the
   // close to *its* upstream. This is how `head -n 10` stops the
   // BlockReader after O(blocks) instead of draining the input.
-  void close_read();
+  void close_read() EXCLUDES(mu_);
 
   // True once the consumer closed its end (close_read), which a producer
   // may poll mid-drain to stop work whose output nobody will read.
-  bool read_closed() const;
+  bool read_closed() const EXCLUDES(mu_);
 
   std::size_t capacity() const { return capacity_; }
 
   // Telemetry (src/obs/): blocked-time accumulators for the producer side
   // (push waiting on a full queue) and the consumer side (pop waiting on an
-  // empty one), in nanoseconds with relaxed ordering. Wire before the
-  // connected nodes start; null (the default) keeps the wait paths
-  // clock-free — time is taken only when a wait actually happens AND a
-  // counter is attached.
+  // empty one), in nanoseconds with relaxed ordering. The pointers are
+  // GUARDED_BY(mu_), so wiring is race-free at any point — though the
+  // runtime always wires before the connected nodes start, since a late
+  // attach silently misses earlier waits. Null (the default) keeps the wait
+  // paths clock-free — time is taken only when a wait actually happens AND
+  // a counter is attached.
   void set_telemetry(std::atomic<std::uint64_t>* send_blocked_ns,
-                     std::atomic<std::uint64_t>* recv_blocked_ns) {
+                     std::atomic<std::uint64_t>* recv_blocked_ns)
+      EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     send_blocked_ns_ = send_blocked_ns;
     recv_blocked_ns_ = recv_blocked_ns;
   }
 
  private:
+  // Condition waits, with the blocked time charged to the attached
+  // telemetry counter. REQUIRES records (and the clang job checks) that
+  // the predicate reads happen under mu_.
+  void wait_not_full(MutexLock& lock) REQUIRES(mu_);
+  void wait_not_empty(MutexLock& lock) REQUIRES(mu_);
+  // Close/abort/close_read share their wake-everyone epilogue.
+  void drain_and_wake(bool discard) REQUIRES(mu_);
+
   const std::size_t capacity_;
   MemoryGauge* const gauge_;
-  std::atomic<std::uint64_t>* send_blocked_ns_ = nullptr;
-  std::atomic<std::uint64_t>* recv_blocked_ns_ = nullptr;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Chunk> queue_;
-  bool closed_ = false;
-  bool aborted_ = false;
-  bool read_closed_ = false;
+  mutable Mutex mu_{LockRank::kChannel};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::atomic<std::uint64_t>* send_blocked_ns_ GUARDED_BY(mu_) = nullptr;
+  std::atomic<std::uint64_t>* recv_blocked_ns_ GUARDED_BY(mu_) = nullptr;
+  std::deque<Chunk> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  bool read_closed_ GUARDED_BY(mu_) = false;
 };
 
 class Semaphore {
@@ -111,24 +132,28 @@ class Semaphore {
   explicit Semaphore(std::size_t slots);
 
   // Blocks until a slot is free; returns false once cancelled.
-  bool acquire();
-  void release();
+  bool acquire() EXCLUDES(mu_);
+  void release() EXCLUDES(mu_);
 
   // Wakes every waiter and makes all future acquires fail (error teardown).
-  void cancel();
+  void cancel() EXCLUDES(mu_);
 
   // Telemetry: blocked-time accumulator for acquire() waits (a parallel
   // feeder stalled on in-flight backpressure counts as send-blocked).
-  void set_telemetry(std::atomic<std::uint64_t>* blocked_ns) {
+  // Guarded like Channel's — see the note there.
+  void set_telemetry(std::atomic<std::uint64_t>* blocked_ns) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     blocked_ns_ = blocked_ns;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t slots_;
-  bool cancelled_ = false;
-  std::atomic<std::uint64_t>* blocked_ns_ = nullptr;
+  void wait_ready(MutexLock& lock) REQUIRES(mu_);
+
+  Mutex mu_{LockRank::kChannel};
+  CondVar cv_;
+  std::size_t slots_ GUARDED_BY(mu_);
+  bool cancelled_ GUARDED_BY(mu_) = false;
+  std::atomic<std::uint64_t>* blocked_ns_ GUARDED_BY(mu_) = nullptr;
 };
 
 // Recycles chunk-buffer allocations across blocks so the steady state of a
@@ -150,22 +175,26 @@ class BufferPool {
 
   // Re-sizes the retention budget; callers set it to the run's in-flight
   // block budget before the dataflow threads start.
-  void set_budget(std::size_t budget_bytes) { budget_bytes_ = budget_bytes; }
+  void set_budget(std::size_t budget_bytes) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    budget_bytes_ = budget_bytes;
+  }
 
   // An empty string, with a recycled allocation when one is available.
   // When telemetry counters are passed, a recycled allocation bumps `hits`
   // and a fresh (empty) one bumps `misses` — per-node pool effectiveness
   // for the --stats table.
   std::string acquire(std::atomic<std::uint64_t>* hits = nullptr,
-                      std::atomic<std::uint64_t>* misses = nullptr);
+                      std::atomic<std::uint64_t>* misses = nullptr)
+      EXCLUDES(mu_);
   // Returns a buffer's allocation to the pool (contents are discarded).
-  void release(std::string&& buf);
+  void release(std::string&& buf) EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::vector<std::string> free_;
-  std::size_t cached_bytes_ = 0;
-  std::size_t budget_bytes_;
+  Mutex mu_{LockRank::kChannel};
+  std::vector<std::string> free_ GUARDED_BY(mu_);
+  std::size_t cached_bytes_ GUARDED_BY(mu_) = 0;
+  std::size_t budget_bytes_ GUARDED_BY(mu_);
 };
 
 }  // namespace kq::stream

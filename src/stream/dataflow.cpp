@@ -2,11 +2,9 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <istream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -16,6 +14,7 @@
 #include "stream/block_reader.h"
 #include "stream/channel.h"
 #include "stream/spill.h"
+#include "stream/sync.h"
 #include "text/streams.h"
 #include "unixcmd/sort_cmd.h"
 
@@ -165,8 +164,8 @@ struct Shared {
   std::atomic<bool> failed{false};
   std::atomic<bool> stopped{false};  // sink asked for an early stop
   std::atomic<bool> combine_undefined{false};
-  std::mutex error_mu;
-  std::string error;
+  sync::Mutex error_mu;  // unranked leaf: held only around the string copy
+  std::string error GUARDED_BY(error_mu);
   std::vector<Channel*> channels;     // populated before threads start
   std::vector<Semaphore*> semaphores;
   BlockReader* reader = nullptr;      // cancelled on teardown: wakes a
@@ -183,7 +182,7 @@ struct Shared {
   void fail(const std::string& message) {
     bool expected = false;
     if (failed.compare_exchange_strong(expected, true)) {
-      std::lock_guard lock(error_mu);
+      sync::MutexLock lock(error_mu);
       error = message;
     }
     teardown();
@@ -230,22 +229,33 @@ struct ParallelCtx {
   // pulls straight from the BlockReader, which only this flag can stop).
   std::atomic<bool> stop_input{false};
 
-  std::mutex completion_mu;
-  std::condition_variable completion_cv;
-  std::size_t tasks_submitted = 0;  // feeder thread only
-  std::size_t tasks_finished = 0;   // guarded by completion_mu
+  // completion_mu is an unranked leaf: held only for counter updates, never
+  // while pushing to a channel or recording a span.
+  sync::Mutex completion_mu;
+  sync::CondVar completion_cv;
+  std::size_t tasks_submitted GUARDED_BY(completion_mu) = 0;
+  std::size_t tasks_finished GUARDED_BY(completion_mu) = 0;
+
+  void task_submitted() {
+    sync::MutexLock lock(completion_mu);
+    ++tasks_submitted;
+  }
+
+  std::ptrdiff_t submitted_so_far() {
+    sync::MutexLock lock(completion_mu);
+    return static_cast<std::ptrdiff_t>(tasks_submitted);
+  }
 
   void task_done() {
-    std::lock_guard lock(completion_mu);
+    sync::MutexLock lock(completion_mu);
     ++tasks_finished;
     completion_cv.notify_all();
   }
 
-  // Call only after the feeder thread has been joined.
+  // Call only after the feeder thread has been joined (no new submissions).
   void wait_idle() {
-    std::unique_lock lock(completion_mu);
-    completion_cv.wait(lock,
-                       [this] { return tasks_finished == tasks_submitted; });
+    sync::MutexLock lock(completion_mu);
+    while (tasks_finished != tasks_submitted) completion_cv.wait(lock);
   }
 };
 
@@ -262,7 +272,7 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
     metrics.chunks += 1;
     metrics.in_bytes += data.size();
     shared.gauge.add(data.size());
-    ++ctx.tasks_submitted;
+    ctx.task_submitted();
     std::size_t idx = index++;
     ParallelCtx* c = &ctx;
     Shared* sh = &shared;
@@ -1066,7 +1076,12 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     }
   }
   if (config.stats) {
-    // links[i] connects node i's push side to node i+1's pull side.
+    // links[i] connects node i's push side to node i+1's pull side. All
+    // telemetry wiring (these calls, the semaphore attach above, and
+    // reader.enable_wait_timing/set_tracer) completes before the `threads`
+    // vector below spawns anything — and set_telemetry takes the channel
+    // lock besides, so even a late attach would be race-free (it would
+    // just miss waits that already happened).
     for (std::size_t i = 0; i + 1 < n; ++i)
       links[i]->set_telemetry(&counters[i]->send_blocked_ns,
                               &counters[i + 1]->recv_blocked_ns);
@@ -1179,8 +1194,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
               run_feeder(ctx, metrics, pull, tele, shared, pool, config);
             } catch (const std::exception& e) {
               shared.fail(std::string("feeder failed: ") + e.what());
-              ctx.expected.store(
-                  static_cast<std::ptrdiff_t>(ctx.tasks_submitted));
+              ctx.expected.store(ctx.submitted_so_far());
             }
           });
       threads.emplace_back([&seg, &ctx, &metrics, push, close_out, out_closed,
@@ -1240,7 +1254,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
   result.combine_undefined = shared.combine_undefined.load();
   result.bytes_read = reader.bytes_delivered();
   if (!result.ok) {
-    std::lock_guard lock(shared.error_mu);
+    sync::MutexLock lock(shared.error_mu);
     result.error = shared.error;
   } else if (!result.stopped_early && reader.error() != 0) {
     // The source died mid-stream: everything downstream completed over a

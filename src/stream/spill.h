@@ -23,6 +23,16 @@
 // One merge pass only: the number of runs is spilled_bytes / threshold, and
 // each cursor buffers at most ~64 KiB, so merging stays O(runs · 64 KiB)
 // resident. Multi-pass merging for pathological run counts is future work.
+//
+// Thread safety: these classes are deliberately lock-free because they are
+// thread-COMPATIBLE, not thread-safe — each instance is owned by exactly
+// one dataflow node thread for its whole lifetime (a window or sequential
+// node's drain loop), so no concurrent access exists to synchronize. The
+// one cross-thread touch point, pread(2) through a shared SpillFile fd, is
+// safe because positioned reads carry their own offset and never mutate
+// the file position. Do not share a RawSpool or SpillMerger across
+// threads without adding external synchronization; docs/CONCURRENCY.md
+// spells out this single-owner convention.
 #pragma once
 
 #include <cstddef>

@@ -1,28 +1,29 @@
 #include "vfs/vfs.h"
 
-#include <mutex>
-
 namespace kq::vfs {
 
+using sync::ReaderLock;
+using sync::WriterLock;
+
 void Vfs::write(std::string name, std::string contents) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   files_[std::move(name)] = std::move(contents);
 }
 
 std::optional<std::string> Vfs::read(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return std::nullopt;
   return it->second;
 }
 
 bool Vfs::exists(const std::string& name) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return files_.contains(name);
 }
 
 std::vector<std::string> Vfs::names() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [name, _] : files_) out.push_back(name);
@@ -30,7 +31,7 @@ std::vector<std::string> Vfs::names() const {
 }
 
 void Vfs::clear() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   files_.clear();
 }
 

@@ -2,13 +2,19 @@
 // (`xargs cat`, `xargs file`, `comm - dict`). Keeping file contents in
 // memory makes synthesis and the benchmark suite hermetic: no temp files,
 // no dependence on the host file system, and trivially thread-safe reads.
+//
+// Thread safety: reader/writer locking via sync::SharedMutex — parallel
+// worker chunks read concurrently; writes (test setup, synthesis staging)
+// are exclusive. files_ is GUARDED_BY(mu_), checked by the
+// clang-threadsafety CI job.
 #pragma once
 
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "stream/sync.h"
 
 namespace kq::vfs {
 
@@ -17,24 +23,25 @@ class Vfs {
   Vfs() = default;
 
   // Creates or replaces a file.
-  void write(std::string name, std::string contents);
+  void write(std::string name, std::string contents) EXCLUDES(mu_);
 
   // Reads a file; nullopt if absent.
-  std::optional<std::string> read(const std::string& name) const;
+  std::optional<std::string> read(const std::string& name) const
+      EXCLUDES(mu_);
 
-  bool exists(const std::string& name) const;
+  bool exists(const std::string& name) const EXCLUDES(mu_);
 
   // All file names, sorted.
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const EXCLUDES(mu_);
 
-  void clear();
+  void clear() EXCLUDES(mu_);
 
   // Process-wide instance used by default-constructed commands.
   static Vfs& global();
 
  private:
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::string> files_;
+  mutable sync::SharedMutex mu_;
+  std::map<std::string, std::string> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace kq::vfs

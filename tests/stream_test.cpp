@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <functional>
 #include <sstream>
 #include <streambuf>
@@ -253,6 +257,73 @@ TEST(BlockReader, CancelWakesReadBlockedOnIdlePipe) {
   EXPECT_LT(waited, 5.0);        // one ~50 ms poll tick, with CI slack
   ::close(fds[0]);
   ::close(fds[1]);
+}
+
+TEST(BlockReader, SignalsMidReadDoNotTruncateOrFail) {
+  // A signal delivered to a thread blocked in the fd source's poll(2) or
+  // read(2) makes the syscall fail with EINTR when the handler is
+  // installed without SA_RESTART. The source must retry — before the fix,
+  // an EINTR on the *idle probe* poll misread the interruption as "pipe
+  // gone idle" and shrank blocks; an unhandled errno on the data path
+  // would have flagged a hard error and truncated the stream. Here a
+  // writer dribbles records through a pipe while pelting the reading
+  // thread with SIGUSR1; the reader must deliver every byte with
+  // error() == 0.
+  struct sigaction sa{};
+  struct sigaction old_sa{};
+  sa.sa_handler = [](int) {};  // no-op, and crucially no SA_RESTART
+  sigemptyset(&sa.sa_mask);
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string expect;
+  for (int i = 0; i < 400; ++i) {
+    expect += "record-";
+    expect += std::to_string(i);
+    expect += '\n';
+  }
+
+  std::string got;
+  int reader_error = -1;
+  std::thread reader_thread([&] {
+    BlockReader reader(fds[0], {256, '\n'});
+    while (auto block = reader.next()) got += *block;
+    reader_error = reader.error();
+  });
+  pthread_t reader_handle = reader_thread.native_handle();
+
+  std::atomic<bool> stop_signals{false};
+  std::thread signaller([&] {
+    // Keep signalling until the writer is done; each hit interrupts
+    // whatever syscall the reader is in. (Stopped and joined before the
+    // reader thread is joined — pthread_kill needs a live handle.)
+    while (!stop_signals.load()) {
+      ::pthread_kill(reader_handle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  // Dribble the input so the reader spends time blocked in poll/read with
+  // a partially filled block — the window the signals aim for.
+  std::size_t off = 0;
+  while (off < expect.size()) {
+    std::size_t n = std::min<std::size_t>(96, expect.size() - off);
+    ssize_t wrote = ::write(fds[1], expect.data() + off, n);
+    ASSERT_GT(wrote, 0);
+    off += static_cast<std::size_t>(wrote);
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  ::close(fds[1]);
+
+  stop_signals.store(true);
+  signaller.join();
+  reader_thread.join();
+  ::close(fds[0]);
+  ASSERT_EQ(::sigaction(SIGUSR1, &old_sa, nullptr), 0);
+
+  EXPECT_EQ(reader_error, 0) << "EINTR surfaced as a stream error";
+  EXPECT_EQ(got, expect) << "signal storm truncated or corrupted the stream";
 }
 
 // -------------------------------------------------------------- channel --
