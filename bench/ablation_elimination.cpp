@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     const Script* script = find_script(suite, name);
     if (!script) continue;
     ScriptReport r =
-        run_script(*script, bench_cache(), options, bench_fs(), bench_pool());
+        run_script(*script, bench_cache(), options, bench_fs());
     for (int k : {2, 4, 8, 16}) {
       double u = r.unoptimized.at(k);
       double t = r.optimized.at(k);

@@ -20,11 +20,6 @@ inline HarnessOptions standard_options(int argc, char** argv,
   return options;
 }
 
-inline exec::ThreadPool& bench_pool() {
-  static exec::ThreadPool pool(16);
-  return pool;
-}
-
 inline synth::SynthesisCache& bench_cache() {
   static synth::SynthesisCache cache;
   return cache;

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   ScriptReport r =
-      run_script(*wf, bench_cache(), options, bench_fs(), bench_pool());
+      run_script(*wf, bench_cache(), options, bench_fs());
   double u1 = r.unoptimized.at(1);
   double u16 = r.unoptimized.at(16);
   double t16 = r.optimized.at(16);

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
                    "T_orig", "u1", "u16", "T16"});
   for (const Script* script : headline_scripts()) {
     ScriptReport r =
-        run_script(*script, bench_cache(), options, bench_fs(), bench_pool());
+        run_script(*script, bench_cache(), options, bench_fs());
     double u1 = r.unoptimized.at(1);
     double u16 = r.unoptimized.at(16);
     double t16 = r.optimized.at(16);

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   int total_stages = 0, total_parallel = 0, total_eliminated = 0;
   for (const Script& script : all_scripts()) {
     ScriptReport r =
-        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+        run_script(script, bench_cache(), options, bench_fs());
     table.add_row({script.suite, script.name, r.parallelized_cell(),
                    r.eliminated_cell()});
     total_stages += r.stages_total();

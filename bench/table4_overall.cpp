@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   int mismatches = 0;
   for (const Script& script : all_scripts()) {
     ScriptReport r =
-        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+        run_script(script, bench_cache(), options, bench_fs());
     double u1 = r.unoptimized.at(1);
     double u16 = r.unoptimized.at(16);
     double t16 = r.optimized.at(16);

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   TextTable table({"Benchmark", "Script", "u1", "u2", "u4", "u8", "u16"});
   for (const Script& script : all_scripts()) {
     ScriptReport r =
-        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+        run_script(script, bench_cache(), options, bench_fs());
     double u1 = r.unoptimized.at(1);
     auto cell = [&](int k) {
       double u = r.unoptimized.at(k);

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       {"Benchmark", "Script", "u1", "T2", "T4", "T8", "T16"});
   for (const Script& script : all_scripts()) {
     ScriptReport r =
-        run_script(script, bench_cache(), options, bench_fs(), bench_pool());
+        run_script(script, bench_cache(), options, bench_fs());
     double u1 = r.unoptimized.at(1);
     auto cell = [&](int k) {
       double t = r.optimized.at(k);

@@ -23,13 +23,12 @@ int main(int argc, char** argv) {
 
   kq::synth::SynthesisCache cache;
   kq::vfs::Vfs fs;
-  kq::exec::ThreadPool pool(k);
 
   std::cout << "analytics-mts over " << options.input_bytes
             << " bytes of synthetic telemetry, k=" << k << "\n\n";
   for (const Script& script : all_scripts()) {
     if (script.suite != "analytics-mts") continue;
-    ScriptReport r = run_script(script, cache, options, fs, pool);
+    ScriptReport r = run_script(script, cache, options, fs);
     double u1 = r.unoptimized.at(1);
     double tk = r.optimized.at(k);
     std::cout << script.name << "\n  parallelized " << r.parallelized_cell()

@@ -10,6 +10,7 @@
 #include "bench_support/workloads.h"
 #include "compile/optimize.h"
 #include "compile/plan.h"
+#include "exec/executor.h"
 
 int main(int argc, char** argv) {
   using namespace kq;
@@ -41,10 +42,15 @@ int main(int argc, char** argv) {
       bench::generate_workload(bench::Workload::kGutenberg, 4 << 20, 1, fs);
 
   auto stages = compile::lower_plan(plan);
-  exec::RunResult serial = exec::run_serial(stages, input);
-  exec::ThreadPool pool(k);
-  exec::RunResult parallel =
-      exec::run_pipeline(stages, input, pool, {k, /*use_elimination=*/true});
+  kq::ExecOptions serial_options;
+  serial_options.mode = kq::ExecMode::kSerial;
+  kq::ExecResult serial =
+      kq::Executor(serial_options).run_collect(stages, input);
+  kq::ExecOptions batch_options;
+  batch_options.mode = kq::ExecMode::kBatch;
+  batch_options.parallelism = k;
+  kq::ExecResult parallel =
+      kq::Executor(batch_options).run_collect(stages, input);
 
   std::cout << "\nserial " << serial.seconds << " s, " << k << "-way "
             << parallel.seconds << " s ("

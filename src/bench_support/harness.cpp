@@ -92,8 +92,7 @@ std::string ScriptReport::eliminated_cell() const {
 }
 
 ScriptReport run_script(const Script& script, synth::SynthesisCache& cache,
-                        const HarnessOptions& options, vfs::Vfs& fs,
-                        exec::ThreadPool& pool) {
+                        const HarnessOptions& options, vfs::Vfs& fs) {
   ScriptReport report;
   report.script = &script;
 
@@ -111,12 +110,25 @@ ScriptReport run_script(const Script& script, synth::SynthesisCache& cache,
     report.pipelines.push_back(std::move(p));
   }
 
+  auto batch_options = [&](int k, bool eliminate) {
+    kq::ExecOptions o;
+    o.mode = kq::ExecMode::kBatch;
+    o.parallelism = k;
+    o.use_elimination = eliminate;
+    return o;
+  };
+
   // Serial reference outputs (also the u_1 measurement).
   std::vector<std::string> serial_outputs;
   {
+    kq::ExecOptions serial;
+    serial.mode = kq::ExecMode::kSerial;
+    serial.parallelism = 1;
+    kq::Executor executor(serial);
     auto start = Clock::now();
     for (const CompiledPipeline& c : compiled)
-      serial_outputs.push_back(exec::run_serial(c.stages, input).output);
+      serial_outputs.push_back(
+          executor.run_collect(c.stages, input).output);
     double elapsed = seconds_since(start);
     report.unoptimized[1] = elapsed;
     report.optimized[1] = elapsed;
@@ -124,20 +136,18 @@ ScriptReport run_script(const Script& script, synth::SynthesisCache& cache,
 
   for (int k : options.parallelism) {
     if (k <= 1) continue;
-    exec::RunConfig unopt{k, /*use_elimination=*/false};
+    kq::Executor unopt(batch_options(k, /*eliminate=*/false));
     auto u_start = Clock::now();
     std::vector<std::string> u_outputs;
     for (const CompiledPipeline& c : compiled)
-      u_outputs.push_back(
-          exec::run_pipeline(c.stages, input, pool, unopt).output);
+      u_outputs.push_back(unopt.run_collect(c.stages, input).output);
     report.unoptimized[k] = seconds_since(u_start);
 
-    exec::RunConfig opt{k, /*use_elimination=*/true};
+    kq::Executor opt(batch_options(k, /*eliminate=*/true));
     auto t_start = Clock::now();
     std::vector<std::string> t_outputs;
     for (const CompiledPipeline& c : compiled)
-      t_outputs.push_back(
-          exec::run_pipeline(c.stages, input, pool, opt).output);
+      t_outputs.push_back(opt.run_collect(c.stages, input).output);
     report.optimized[k] = seconds_since(t_start);
 
     if (options.verify_outputs) {

@@ -12,7 +12,7 @@
 #include "bench_support/catalog.h"
 #include "compile/optimize.h"
 #include "compile/plan.h"
-#include "exec/runner.h"
+#include "exec/executor.h"
 
 namespace kq::bench {
 
@@ -48,9 +48,10 @@ struct ScriptReport {
   std::string eliminated_cell() const;
 };
 
+// Executes through kq::Executor (serial reference + batch at each width);
+// the facade owns the worker pools, so callers no longer pass one.
 ScriptReport run_script(const Script& script, synth::SynthesisCache& cache,
-                        const HarnessOptions& options, vfs::Vfs& fs,
-                        exec::ThreadPool& pool);
+                        const HarnessOptions& options, vfs::Vfs& fs);
 
 // Reads a byte-size scale factor from argv ("--scale=N" multiplies every
 // script's input size; default 1).

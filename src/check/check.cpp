@@ -68,6 +68,9 @@ std::string rss_model(const compile::PlannedStage& planned,
   bool spill_on = options.spill_threshold > 0;
   switch (lowered.memory_class) {
     case exec::MemoryClass::kStreaming:
+      if (lowered.shardable)
+        return "O(parallelism x slice): sharded stream sub-chains feed an "
+               "incremental combining tree";
       return "O(parallelism x block): chunk outputs stream through";
     case exec::MemoryClass::kStatelessStream:
       return "O(block): fused per-block stream chain";
@@ -82,9 +85,12 @@ std::string rss_model(const compile::PlannedStage& planned,
                      "(--spill-threshold 0)";
       return "O(window): bounded by the command's own window";
     case exec::MemoryClass::kSortableSpill:
-      return spill_on ? "O(spill-threshold): sorted runs on disk, external "
-                        "k-way merge"
-                      : "O(input): spilling disabled (--spill-threshold 0)";
+      if (!spill_on)
+        return "O(input): spilling disabled (--spill-threshold 0)";
+      if (lowered.shardable)
+        return "O(parallelism x window + spill-threshold): sharded "
+               "sub-chains spill sorted runs, external k-way merge";
+      return "O(spill-threshold): sorted runs on disk, external k-way merge";
     case exec::MemoryClass::kMaterialize:
       return "O(input): whole stream materializes";
   }

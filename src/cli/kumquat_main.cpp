@@ -4,14 +4,18 @@
 //   kumquat synthesize '<command>'          synthesize and print combiners
 //   kumquat compile '<pipeline>'            print the parallel plan
 //   kumquat check [--json] '<pipeline>'     static diagnostics, no execution
-//   kumquat run [-k N] [--no-opt] [--stream|--batch] [--block-size N]
+//   kumquat run [--jobs N] [--no-opt] [--stream|--batch] [--block-size N]
 //               '<pipeline>'                execute data-parallel,
 //                                           stdin -> stdout
 //
-// `run` defaults to the streaming dataflow runtime (src/stream/): stdin is
-// consumed in record-aligned blocks and never materialized whole, so
-// memory stays bounded on arbitrarily large inputs. `--batch` selects the
-// original in-memory staged runner.
+// `run` executes through kq::Executor (exec/executor.h), defaulting to the
+// streaming dataflow runtime (src/stream/): stdin is consumed in
+// record-aligned blocks and never materialized whole, so memory stays
+// bounded on arbitrarily large inputs; eligible parallel segments run
+// sharded (per-shard stream sub-chains feeding an incremental combining
+// tree). `--batch` selects the original in-memory staged runner through
+// the same facade. --jobs (alias -k) defaults to the hardware thread
+// count, capped at 16, identically in both modes.
 //
 // Commands resolve to built-ins when known, otherwise to real binaries
 // through fork/exec — new commands work without any registry change,
@@ -31,9 +35,9 @@
 #include "check/check.h"
 #include "compile/optimize.h"
 #include "compile/plan.h"
+#include "exec/executor.h"
 #include "obs/trace.h"
 #include "procexec/external_command.h"
-#include "stream/dataflow.h"
 #include "text/shellwords.h"
 #include "unixcmd/registry.h"
 
@@ -241,7 +245,7 @@ std::string format_ms(std::uint64_t ns) {
 //   pool(hit/miss)  spill(runs/bytes)  early-exit
 //
 // Counter semantics are documented in docs/OBSERVABILITY.md.
-void print_stream_stats(const stream::StreamResult& result) {
+void print_stream_stats(const kq::ExecResult& result) {
   std::cerr << "kumquat stats: " << result.nodes.size() << " node(s), peak "
             << result.peak_inflight_bytes << " bytes in flight, read "
             << result.bytes_read << " input bytes\n";
@@ -250,6 +254,7 @@ void print_stream_stats(const stream::StreamResult& result) {
     std::cerr << "  [" << i << "] " << n.commands << "\n"
               << "      memory=" << n.memory
               << (n.parallel ? " parallel" : "")
+              << (n.sharded ? " sharded" : "")
               << (n.streamed_combine ? " streamed-combine" : "") << "\n"
               << "      blocks=" << n.chunks << " records=" << n.records_in
               << "/" << n.records_out << " bytes=" << n.in_bytes << "/"
@@ -264,21 +269,26 @@ void print_stream_stats(const stream::StreamResult& result) {
     if (!n.early_exit.empty())
       std::cerr << " early-exit=" << n.early_exit;
     std::cerr << "\n";
+    if (n.sharded)
+      std::cerr << "      shard slice=" << n.shard_slice_bytes
+                << " bytes slices=" << n.shard_slices
+                << " worker-busy=" << format_ms(n.worker_busy_ns) << "\n";
   }
 }
 
-// Batch-path --stats: the staged runner's per-stage metrics.
-void print_batch_stats(const exec::RunResult& result) {
-  std::cerr << "kumquat stats: " << result.stages.size()
+// Batch-path --stats: the staged runner's per-stage metrics, carried in the
+// same unified NodeMetrics rows the facade returns for stream runs.
+void print_batch_stats(const kq::ExecResult& result) {
+  std::cerr << "kumquat stats: " << result.nodes.size()
             << " stage(s), batch\n";
-  for (std::size_t i = 0; i < result.stages.size(); ++i) {
-    const exec::StageMetrics& s = result.stages[i];
-    std::cerr << "  [" << i << "] " << s.command << "\n"
-              << "      " << (s.parallel ? "parallel" : "sequential")
-              << (s.combiner_eliminated ? " (combiner eliminated)" : "")
-              << (s.combine_fallback ? " (combine fallback)" : "")
-              << " chunks=" << s.chunks << " bytes=" << s.in_bytes << "/"
-              << s.out_bytes << " seconds=" << s.seconds << "\n";
+  for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+    const stream::NodeMetrics& n = result.nodes[i];
+    std::cerr << "  [" << i << "] " << n.commands << "\n"
+              << "      " << (n.parallel ? "parallel" : "sequential")
+              << (n.combiner_eliminated ? " (combiner eliminated)" : "")
+              << (n.combine_fallback ? " (combine fallback)" : "")
+              << " chunks=" << n.chunks << " bytes=" << n.in_bytes << "/"
+              << n.out_bytes << " seconds=" << n.seconds << "\n";
   }
 }
 
@@ -315,7 +325,21 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
 
   auto compiled = compile_line(pipeline, rewrite, tracer.get());
   if (!compiled) return 2;
-  exec::ThreadPool pool(k);
+
+  // One facade for both modes: --jobs/-k, elimination, and the streaming
+  // knobs resolve identically whether the staged runner or the dataflow
+  // runtime executes the plan. k == 0 resolves the hardware default.
+  kq::ExecOptions options;
+  options.mode = streaming ? kq::ExecMode::kStream : kq::ExecMode::kBatch;
+  options.parallelism = k;
+  options.use_elimination = optimize;
+  options.block_size = block_size;
+  options.spill_threshold = spill_threshold;
+  options.delimiter = delimiter;
+  options.stats = stats;
+  options.tracer = tracer.get();
+  kq::Executor executor(options);
+  const int resolved_k = executor.options().parallelism;
 
   // Serializes the trace (if any); returns false when the write failed.
   auto write_trace = [&]() -> bool {
@@ -333,8 +357,6 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
   };
 
   if (streaming) {
-    // Streaming dataflow path: stdin is pulled through a BlockReader in
-    // record-aligned blocks, never materialized whole.
 #ifdef __GLIBC__
     // Keep block-sized chunk strings mmap-backed: glibc's dynamic mmap
     // threshold would otherwise grow past the block size and retire freed
@@ -345,47 +367,34 @@ int cmd_run(const std::string& pipeline, int k, bool optimize, bool streaming,
     mallopt(M_MMAP_THRESHOLD, 128 << 10);
 #endif
     std::ios::sync_with_stdio(false);
-    stream::StreamConfig config;
-    config.parallelism = k;
-    config.block_size = block_size;
-    config.use_elimination = optimize;
-    config.spill_threshold = spill_threshold;
-    config.delimiter = delimiter;
-    config.stats = stats;
-    config.tracer = tracer.get();
-    // Read stdin by fd, not istream: the fd source is poll(2)-driven, so
-    // an early exit (a satisfied `head`) wakes a read blocked on an idle
-    // pipe promptly instead of at the next block boundary.
-    stream::StreamResult result = stream::run_streaming_fd(
-        compiled->stages, STDIN_FILENO, std::cout, pool, config);
-    std::cout.flush();
-    bool trace_ok = write_trace();
-    if (!result.ok) {
-      std::cerr << "kumquat: streaming run failed: " << result.error
-                << " (rerun with --batch)\n";
-      return 1;
-    }
-    std::cerr << "kumquat: " << result.seconds << " s at k=" << k
-              << ", streaming, read " << result.bytes_read
+  }
+  // Read stdin by fd, not istream: in stream mode the fd source is
+  // poll(2)-driven, so an early exit (a satisfied `head`) wakes a read
+  // blocked on an idle pipe promptly instead of at the next block
+  // boundary; in batch mode the facade slurps the fd whole.
+  kq::ExecResult result = executor.run(
+      compiled->stages, kq::Source::from_fd(STDIN_FILENO), std::cout);
+  std::cout.flush();
+  bool trace_ok = write_trace();
+  if (!result.ok) {
+    std::cerr << "kumquat: " << (streaming ? "streaming " : "") << "run failed: "
+              << result.error << (streaming ? " (rerun with --batch)" : "")
+              << "\n";
+    return 1;
+  }
+  std::cerr << "kumquat: " << result.seconds << " s at k=" << resolved_k;
+  if (streaming) {
+    std::cerr << ", streaming, read " << result.bytes_read
               << " input bytes, peak " << result.peak_inflight_bytes
               << " bytes in flight";
     if (result.spilled_bytes != 0)
       std::cerr << ", spilled " << result.spilled_bytes << " bytes to disk";
     std::cerr << "\n";
     if (stats) print_stream_stats(result);
-    return trace_ok ? 0 : 1;
+  } else {
+    std::cerr << ", batch\n";
+    if (stats) print_batch_stats(result);
   }
-
-  std::ostringstream buffer;
-  buffer << std::cin.rdbuf();
-  std::string input = buffer.str();
-  exec::RunResult result =
-      exec::run_pipeline(compiled->stages, input, pool, {k, optimize});
-  std::cout << result.output;
-  bool trace_ok = write_trace();  // batch traces carry the compile spans
-  std::cerr << "kumquat: " << result.seconds << " s at k=" << k
-            << ", batch\n";
-  if (stats) print_batch_stats(result);
   return trace_ok ? 0 : 1;
 }
 
@@ -436,20 +445,23 @@ void usage() {
                "  kumquat check [--json] [--no-rewrite] "
                "[--spill-threshold N[K|M|G]|0]\n"
                "                [--catalog | '<pipeline>']\n"
-               "  kumquat run [-k N] [--no-opt] [--no-rewrite] "
+               "  kumquat run [--jobs N|-k N] [--no-opt] [--no-rewrite] "
                "[--stream|--batch]\n"
                "              [--block-size N[K|M|G]] "
                "[--spill-threshold N[K|M|G]|0]\n"
                "              [--delimiter C] [--stats] [--trace-json FILE]\n"
                "              [--check] '<pipeline>'  (stdin -> stdout)\n"
                "\n"
-               "  run executes the streaming dataflow runtime by default\n"
-               "  (bounded memory, default 1M blocks). Nodes that would\n"
+               "  run executes through kq::Executor: the streaming dataflow\n"
+               "  runtime by default (bounded memory, default 1M blocks;\n"
+               "  eligible parallel stages run sharded). Nodes that would\n"
                "  accumulate more than --spill-threshold (default 64M) spill\n"
                "  to disk; 0 disables spilling. --delimiter sets the record\n"
                "  byte the streaming reader realigns on (default \\n; accepts\n"
                "  \\t \\n \\0 escapes). --batch selects the in-memory staged\n"
-               "  runner, which ignores the streaming-only flags.\n"
+               "  runner, which ignores the streaming-only flags. --jobs\n"
+               "  (alias -k) defaults to the hardware thread count (max 16)\n"
+               "  and applies identically in both modes.\n"
                "\n"
                "  compile and run fuse bounded top-N patterns by default\n"
                "  ('sort | head -n N', 'uniq -c | sort -rn | head -n K')\n"
@@ -557,7 +569,7 @@ int main(int argc, char** argv) {
     return cmd_check(pipeline, rewrite, json, spill_threshold, catalog);
   }
   if (verb == "run") {
-    int k = 4;
+    int k = 0;  // 0 = the hardware default (kq::default_parallelism())
     bool optimize = true;
     bool streaming = true;
     bool rewrite = true;
@@ -569,8 +581,15 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string pipeline;
     for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "-k") == 0 && i + 1 < argc) {
+      if ((std::strcmp(argv[i], "-k") == 0 ||
+           std::strcmp(argv[i], "--jobs") == 0) &&
+          i + 1 < argc) {
         k = std::atoi(argv[++i]);
+        if (k < 1) {
+          std::cerr << "kumquat: " << argv[i - 1]
+                    << " requires a positive integer\n";
+          return 2;
+        }
       } else if (std::strcmp(argv[i], "--no-opt") == 0) {
         optimize = false;
       } else if (std::strcmp(argv[i], "--no-rewrite") == 0) {
@@ -622,7 +641,7 @@ int main(int argc, char** argv) {
         pipeline = argv[i];
       }
     }
-    if (pipeline.empty() || k < 1 || block_size == 0) {
+    if (pipeline.empty() || k < 0 || block_size == 0) {
       usage();
       return 2;
     }

@@ -187,6 +187,15 @@ std::vector<exec::ExecStage> lower_plan(const Plan& plan) {
         stage.sort_spec = std::move(spec);
       }
     }
+    // Shard eligibility: a parallel combined stage whose command executes
+    // through a stream/window processor can run as a per-shard stream
+    // sub-chain (exec::run_slice_fused) instead of whole-slice Command::run
+    // hops, bounding each shard worker at O(block + window). Prefix-bounded
+    // stages are deliberately excluded — their streaming early exit (head
+    // reads O(blocks)) beats any data parallelism.
+    stage.shardable = stage.parallel && stage.combine != nullptr &&
+                      (streamable == cmd::Streamability::kPerRecord ||
+                       streamable == cmd::Streamability::kWindow);
     stages.push_back(std::move(stage));
   }
   return stages;

@@ -22,4 +22,18 @@ std::vector<std::string> map_chunks_chain(
     const std::vector<const cmd::Command*>& chain,
     const std::vector<std::string_view>& chunks, ThreadPool& pool);
 
+// Runs a fused chain over one contiguous record-aligned slice the way a
+// stream-chain node would: maximal runs of declared-streamable stages
+// cascade block by block through their cmd::StreamProcessors (a window
+// stage absorbs the run's output through its cmd::WindowProcessor and
+// terminates the run), so per-stage intermediates stay O(step) instead of
+// O(slice); black-box stages break the cascade and run whole on the
+// materialized intermediate. `step` is the cascade's internal block size
+// (records longer than a step travel whole). Byte-identical to chaining
+// Command::run by the streamability contract — this is the single slice
+// executor behind both the batch mapper and the sharded streaming workers.
+std::string run_slice_fused(const std::vector<const cmd::Command*>& chain,
+                            std::string_view slice, std::size_t step,
+                            char delimiter = '\n');
+
 }  // namespace kq::exec

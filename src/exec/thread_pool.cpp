@@ -20,6 +20,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    sync::MutexLock lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();  // outside the lock, like worker_loop
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;

@@ -29,6 +29,15 @@ class ThreadPool {
 
   int worker_count() const { return static_cast<int>(workers_.size()); }
 
+  // Work stealing: pops one queued task (if any) and runs it on the calling
+  // thread. Returns false when the queue was empty. A dataflow node blocked
+  // on its own segment's backlog (a feeder out of in-flight slots, a
+  // collector waiting for the next chunk in input order) calls this instead
+  // of sleeping, so an unlucky shard distribution can't leave pool workers
+  // idle while a straggler serializes the combining tree. Safe from any
+  // thread: tasks are self-contained closures and run outside mu_.
+  bool try_run_one() EXCLUDES(mu_);
+
   // Enqueues `fn`; the future delivers its result (or exception).
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {

@@ -14,6 +14,10 @@
 //                        BlockReader's poll wait); the "blocked %" column
 //   pool hit/miss      — BufferPool acquires served from recycled capacity
 //   spill runs/bytes   — sorted runs and bytes written to disk
+//   shard slices       — slices executed by a sharded segment's workers
+//   worker busy        — wall time the segment's shard workers spent
+//                        executing slices (summed across workers; compare
+//                        against the node's span for parallel efficiency)
 //   early_exit         — why the node stopped consuming input early
 //
 // Disabled cost: when stats collection is off no StageCounters exists and
@@ -47,6 +51,8 @@ struct StageCounters {
   std::atomic<std::uint64_t> pool_misses{0};
   std::atomic<std::uint64_t> spill_runs{0};
   std::atomic<std::uint64_t> spill_bytes{0};
+  std::atomic<std::uint64_t> shard_slices{0};
+  std::atomic<std::uint64_t> worker_busy_ns{0};
   std::atomic<int> early_exit{static_cast<int>(EarlyExit::kNone)};
 
   void note_early_exit(EarlyExit cause) {

@@ -67,6 +67,13 @@ class Channel {
   // closed and drained (or aborted).
   std::optional<Chunk> pop() EXCLUDES(mu_);
 
+  // Non-blocking pop: nullopt when the queue is empty right now, whether
+  // the channel is still open or already closed. A consumer that wants to
+  // overlap useful work with the wait (the work-stealing collector) calls
+  // this first and falls back to the blocking pop() only when there is
+  // nothing else to do.
+  std::optional<Chunk> try_pop() EXCLUDES(mu_);
+
   // End of stream: no further pushes succeed; pending chunks remain
   // poppable.
   void close() EXCLUDES(mu_);
@@ -133,6 +140,15 @@ class Semaphore {
 
   // Blocks until a slot is free; returns false once cancelled.
   bool acquire() EXCLUDES(mu_);
+
+  // Non-blocking acquire: true when a slot was taken. False means either
+  // no slot is free right now or the semaphore is cancelled — callers that
+  // steal work while waiting check cancelled() to tell the two apart.
+  bool try_acquire() EXCLUDES(mu_);
+
+  // True once cancel() ran (every subsequent acquire fails).
+  bool cancelled() const EXCLUDES(mu_);
+
   void release() EXCLUDES(mu_);
 
   // Wakes every waiter and makes all future acquires fail (error teardown).
@@ -149,7 +165,7 @@ class Semaphore {
  private:
   void wait_ready(MutexLock& lock) REQUIRES(mu_);
 
-  Mutex mu_{LockRank::kChannel};
+  mutable Mutex mu_{LockRank::kChannel};
   CondVar cv_;
   std::size_t slots_ GUARDED_BY(mu_);
   bool cancelled_ GUARDED_BY(mu_) = false;

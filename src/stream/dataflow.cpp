@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "exec/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/block_reader.h"
@@ -50,6 +51,10 @@ struct Segment {
   bool parallel = false;
   bool stream = false;       // per-block chain of cmd::StreamProcessors
   bool window = false;       // chain.back() is a cmd::WindowProcessor stage
+  // Parallel segment whose workers run fused per-shard stream sub-chains
+  // (exec::run_slice_fused) over contiguous record-aligned slices instead
+  // of whole-slice Command::run hops; the collector is its combining tree.
+  bool sharded = false;
   bool emit_concat = false;  // combiner is concat: emit instead of folding
   const exec::ExecStage* combine_stage = nullptr;
 
@@ -148,6 +153,31 @@ std::vector<Segment> build_segments(const std::vector<exec::ExecStage>& stages,
       }
       seg.combine_stage = seg.chain.back();
       seg.emit_concat = seg.combine_stage->concat_combiner;
+      // Sharded mode: every fused member was recorded shard-eligible by
+      // lower_plan AND the chain shape admits a processor cascade — all
+      // non-terminal members per-record, the terminal per-record or window
+      // (a window's emission happens at slice end, so nothing can cascade
+      // behind it inside a shard). Streamability is a statement about
+      // '\n'-delimited records, so a custom delimiter keeps the whole-slice
+      // worker path.
+      if (config.delimiter == '\n') {
+        bool ok = true;
+        for (std::size_t j = 0; j < seg.chain.size(); ++j) {
+          const exec::ExecStage* s = seg.chain[j];
+          if (!s->shardable || !s->command) {
+            ok = false;
+            break;
+          }
+          const cmd::Streamability sb = s->command->streamability();
+          const bool terminal = j + 1 == seg.chain.size();
+          if (sb != cmd::Streamability::kPerRecord &&
+              !(terminal && sb == cmd::Streamability::kWindow)) {
+            ok = false;
+            break;
+          }
+        }
+        seg.sharded = ok;
+      }
     }
     ++i;
     segments.push_back(std::move(seg));
@@ -223,6 +253,13 @@ struct ParallelCtx {
   Channel results;
   Semaphore slots;
   std::vector<const cmd::Command*> chain;
+  // Sharded segment: workers run exec::run_slice_fused over slices of
+  // `slice_bytes` (cascading internally in `cascade_step` blocks) instead
+  // of whole-slice Command::run hops.
+  bool sharded = false;
+  std::size_t slice_bytes = 0;   // the feeder's coalescing target
+  std::size_t cascade_step = 0;  // block size inside a shard's cascade
+  char delimiter = '\n';
   std::atomic<std::ptrdiff_t> expected{-1};  // chunk count, once known
   // Set by the collector when downstream closed its read side: the feeder
   // stops pulling (its own input channel is also read-closed, but node 0
@@ -259,16 +296,34 @@ struct ParallelCtx {
   }
 };
 
-// Feeder: pulls record-aligned pieces, coalesces them toward block_size,
-// and fans chunks out to the worker pool under the in-flight bound.
+// Feeder: pulls record-aligned pieces, coalesces them toward the segment's
+// chunk target (block_size, or the larger shard slice for sharded
+// segments), and fans chunks out to the worker pool under the in-flight
+// bound. A feeder out of slots steals queued pool tasks instead of
+// sleeping, so an unlucky shard distribution can't idle workers while a
+// straggler holds every slot.
 void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
                 const NodeTelemetry& tele, Shared& shared,
                 exec::ThreadPool& pool, const StreamConfig& config) {
   std::size_t index = 0;
   std::string buf;
+  const std::size_t chunk_target =
+      ctx.sharded ? ctx.slice_bytes : config.block_size;
+
+  auto acquire_slot = [&] {
+    for (;;) {
+      if (ctx.slots.try_acquire()) return true;
+      if (ctx.slots.cancelled()) return false;
+      // No slot free: run someone else's queued task (possibly one of our
+      // own in-flight slices, whose completion frees a slot). Worker
+      // pushes never block — results capacity exceeds the slot count — so
+      // an inlined task always terminates.
+      if (!pool.try_run_one()) return ctx.slots.acquire();
+    }
+  };
 
   auto submit = [&](std::string&& data) {
-    if (!ctx.slots.acquire()) return false;
+    if (!acquire_slot()) return false;
     metrics.chunks += 1;
     metrics.in_bytes += data.size();
     shared.gauge.add(data.size());
@@ -280,17 +335,40 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
     pool.submit([data = std::move(data), idx, c, sh, t]() mutable {
       std::size_t in_size = data.size();
       try {
-        // Worker chunk span: one per pool task, on the worker's own trace
-        // row. Name built only when tracing (it concatenates).
+        // Worker span: one per pool task, on the worker's own trace row.
+        // Name built only when tracing (it concatenates).
         obs::Tracer::Span span;
         if (t->tracer) {
-          span = t->tracer->span(t->label + ": worker-chunk", "block");
+          span = t->tracer->span(
+              t->label + (c->sharded ? ": shard-slice" : ": worker-chunk"),
+              "block");
           span.arg("chunk", idx);
           span.arg("bytes_in", in_size);
         }
-        std::string current = std::move(data);
-        for (const cmd::Command* stage : c->chain)
-          current = stage->run(current);
+        const auto busy_start = Clock::now();
+        std::string current;
+        if (c->sharded) {
+          // Per-shard sub-chain: the slice cascades through fresh
+          // StreamProcessors (window terminal included) in cascade_step
+          // blocks — O(block + window) resident per shard, and
+          // byte-identical to the Command::run hops by the streamability
+          // contract.
+          current = exec::run_slice_fused(c->chain, data, c->cascade_step,
+                                          c->delimiter);
+        } else {
+          current = std::move(data);
+          for (const cmd::Command* stage : c->chain)
+            current = stage->run(current);
+        }
+        if (t->counters) {
+          t->counters->shard_slices.fetch_add(1, std::memory_order_relaxed);
+          t->counters->worker_busy_ns.fetch_add(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - busy_start)
+                      .count()),
+              std::memory_order_relaxed);
+        }
         span.arg("bytes_out", current.size());
         c->results.push(Chunk{idx, std::move(current)});
       } catch (const std::exception& e) {
@@ -304,12 +382,12 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
 
   while (auto piece = pull()) {
     if (shared.halted() || ctx.stop_input.load()) break;
-    if (buf.empty() && piece->size() >= config.block_size) {
+    if (buf.empty() && piece->size() >= chunk_target) {
       if (!submit(std::move(*piece))) break;
       continue;
     }
     buf += *piece;
-    if (buf.size() >= config.block_size) {
+    if (buf.size() >= chunk_target) {
       if (!submit(std::move(buf))) break;
       buf.clear();
     }
@@ -324,9 +402,13 @@ void run_feeder(ParallelCtx& ctx, NodeMetrics& metrics, const Pull& pull,
   ctx.results.push(Chunk{kControlChunk, {}});  // wake the collector
 }
 
-// Collector: restores input order, then either emits chunk outputs
-// immediately (concat combiners) or folds them incrementally with doubling
-// group sizes (total fold work O(output · log chunks)). `out_closed`
+// Collector: the segment's combining tree. Restores input order, then
+// either emits chunk outputs immediately (concat combiners: early handoff
+// in shard order) or folds them incrementally with doubling group sizes
+// (total fold work O(output · log chunks)); merge-mode combiners past the
+// spill threshold hand the tree to SpillMerger. While waiting for the next
+// part it steals queued pool tasks — often this segment's own straggler
+// slices — so the tree keeps merging instead of idling. `out_closed`
 // distinguishes a push that failed because downstream closed its read side
 // (clean early exit: cancel upstream, no error) from a combine failure;
 // `cancel_upstream` stops this segment's feeder and read-closes its input.
@@ -335,7 +417,7 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
                    const std::function<bool()>& out_closed,
                    const std::function<void()>& cancel_upstream,
                    const NodeTelemetry& tele, Shared& shared,
-                   const StreamConfig& config) {
+                   exec::ThreadPool& pool, const StreamConfig& config) {
   std::map<std::size_t, std::string> out_of_order;
   std::size_t next_emit = 0;
   std::string acc;
@@ -415,6 +497,10 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
 
   auto take_part = [&](std::string&& part) -> bool {
     if (seg.emit_concat) {
+      // Concat early handoff: the part is next in shard order, so it goes
+      // downstream the moment it arrives — no accumulation.
+      auto span = obs::span(tele.tracer, "combine-emit", "combine");
+      span.arg("bytes", part.size());
       metrics.out_bytes += part.size();
       if (part.empty()) return true;
       return push(std::move(part));
@@ -464,8 +550,21 @@ void run_collector(const Segment& seg, ParallelCtx& ctx, NodeMetrics& metrics,
     std::ptrdiff_t expected = ctx.expected.load();
     if (expected >= 0 && next_emit == static_cast<std::size_t>(expected))
       break;
-    std::optional<Chunk> chunk = ctx.results.pop();
-    if (!chunk) {  // aborted
+    // Work-stealing wait: drain the channel non-blocking first; when it is
+    // empty, run a queued pool task (likely one of this segment's own
+    // in-flight slices) instead of sleeping, and only block when the pool
+    // has nothing either. Inlined tasks always terminate: worker pushes
+    // never block (results capacity exceeds the slot count).
+    std::optional<Chunk> chunk;
+    for (;;) {
+      chunk = ctx.results.try_pop();
+      if (chunk) break;
+      if (!pool.try_run_one()) {
+        chunk = ctx.results.pop();
+        break;
+      }
+    }
+    if (!chunk) {  // aborted, or closed and drained
       failed_here = true;
       break;
     }
@@ -982,8 +1081,18 @@ StreamConfig sanitize(StreamConfig config) {
 const char* node_memory_label(const Segment& seg, const StreamConfig& config) {
   if (seg.window) return "window-stream";
   if (seg.stream) return "stateless-stream";
-  if (seg.parallel)
+  if (seg.parallel) {
+    if (seg.sharded) {
+      // Shard workers hold O(block + window) each; the combining tree's
+      // residency is the combiner's (concat streams, merge spills).
+      switch (seg.combine_stage->memory_class) {
+        case exec::MemoryClass::kSortableSpill: return "sharded-spill-merge";
+        case exec::MemoryClass::kStreaming: return "sharded-streaming";
+        default: return "sharded";
+      }
+    }
     return exec::memory_class_name(seg.combine_stage->memory_class);
+  }
   const exec::ExecStage& stage = *seg.chain.front();
   if (stage.memory_class == exec::MemoryClass::kSortableSpill &&
       config.delimiter == '\n' && stage.command)
@@ -1057,6 +1166,7 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     result.nodes[i].streamed_combine = segments[i].emit_concat;
     result.nodes[i].per_block = segments[i].stream;
     result.nodes[i].window = segments[i].window;
+    result.nodes[i].sharded = segments[i].sharded;
     if (config.stats) {
       counters[i] = std::make_unique<obs::StageCounters>();
       teles[i].counters = counters[i].get();
@@ -1065,8 +1175,28 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
     teles[i].tracer = config.tracer;
     teles[i].label = result.nodes[i].commands;
     if (segments[i].parallel) {
-      ctxs[i] =
-          std::make_unique<ParallelCtx>(config.max_inflight, &shared.gauge);
+      // Sharded segments fan out in slices larger than a block (fewer
+      // combine-tree parts, fewer processor setups) and scale the in-flight
+      // slot count down to keep the same byte budget
+      // (max_inflight · block_size); the floor of parallelism + 1 slots
+      // keeps every worker busy plus one slice queued.
+      std::size_t inflight = config.max_inflight;
+      std::size_t slice = config.block_size;
+      if (segments[i].sharded) {
+        slice = config.shard_slice != 0 ? config.shard_slice
+                                        : 2 * config.block_size;
+        if (slice < config.block_size) slice = config.block_size;
+        const std::size_t budget = config.max_inflight * config.block_size;
+        inflight = std::max<std::size_t>(
+            static_cast<std::size_t>(config.parallelism) + 1,
+            (budget + slice - 1) / slice);
+        result.nodes[i].shard_slice_bytes = slice;
+      }
+      ctxs[i] = std::make_unique<ParallelCtx>(inflight, &shared.gauge);
+      ctxs[i]->sharded = segments[i].sharded;
+      ctxs[i]->slice_bytes = slice;
+      ctxs[i]->cascade_step = config.block_size;
+      ctxs[i]->delimiter = config.delimiter;
       for (const exec::ExecStage* s : segments[i].chain)
         ctxs[i]->chain.push_back(s->command.get());
       // A feeder stalled on the in-flight bound is send-blocked: its
@@ -1198,13 +1328,14 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
             }
           });
       threads.emplace_back([&seg, &ctx, &metrics, push, close_out, out_closed,
-                            cancel_upstream, &tele, &shared, &config, start] {
+                            cancel_upstream, &tele, &shared, &pool, &config,
+                            start] {
         if (tele.tracer)
           tele.tracer->set_thread_name(tele.label + " (collector)");
         auto span = obs::span(tele.tracer, "node: " + tele.label, "node");
         try {
           run_collector(seg, ctx, metrics, push, close_out, out_closed,
-                        cancel_upstream, tele, shared, config);
+                        cancel_upstream, tele, shared, pool, config);
         } catch (const std::exception& e) {
           shared.fail(std::string("collector failed: ") + e.what());
           close_out();
@@ -1277,6 +1408,8 @@ StreamResult run_streaming_core(const std::vector<exec::ExecStage>& stages,
       m.recv_blocked_ns = c.recv_blocked_ns.load(std::memory_order_relaxed);
       m.pool_hits = c.pool_hits.load(std::memory_order_relaxed);
       m.pool_misses = c.pool_misses.load(std::memory_order_relaxed);
+      m.shard_slices = c.shard_slices.load(std::memory_order_relaxed);
+      m.worker_busy_ns = c.worker_busy_ns.load(std::memory_order_relaxed);
       m.early_exit = obs::early_exit_name(c.early_exit_cause());
     }
     // Node 0 pulls straight from the BlockReader: its input-side blocked

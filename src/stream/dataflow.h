@@ -81,6 +81,13 @@ struct StreamConfig {
   // max(block_size, spill_threshold) per record. 0 disables spilling (and
   // the record cap) entirely.
   std::size_t spill_threshold = 64 << 20;
+  // Slice size for sharded parallel segments (the contiguous record-aligned
+  // unit a shard worker runs its fused sub-chain over). 0 derives
+  // 2 · block_size. Larger slices mean fewer combine-tree parts and less
+  // per-slice processor setup; the runtime scales the segment's in-flight
+  // slot count down so the byte budget (max_inflight · block_size) is
+  // unchanged.
+  std::size_t shard_slice = 0;
   // Telemetry (src/obs/). `stats` allocates per-node obs::StageCounters and
   // wires blocked-time/record/pool accounting through the run — the
   // extended NodeMetrics fields below are zero without it. A non-null
@@ -97,6 +104,11 @@ struct NodeMetrics {
   bool streamed_combine = false;  // concat emission, no accumulation
   bool per_block = false;         // stream-chain node (kStatelessStream)
   bool window = false;            // chain ends in a window stage (kWindow)
+  // Parallel segment ran sharded: each worker executed a fused
+  // StreamProcessor/WindowProcessor sub-chain over a contiguous slice
+  // (exec::run_slice_fused) instead of whole-string Command::run hops.
+  bool sharded = false;
+  std::size_t shard_slice_bytes = 0;  // slice size the feeder targeted
   int chunks = 0;                 // blocks processed by this node
   std::size_t in_bytes = 0;
   std::size_t out_bytes = 0;
@@ -114,8 +126,17 @@ struct NodeMetrics {
                                        // (node 0: the reader's poll waits)
   std::uint64_t pool_hits = 0;         // BufferPool acquires recycled
   std::uint64_t pool_misses = 0;       // BufferPool acquires fresh
+  std::uint64_t shard_slices = 0;      // slices shard workers executed
+  std::uint64_t worker_busy_ns = 0;    // summed shard-worker execution time
   std::string early_exit;              // why input stopped early ("" = ran
                                        // to end of stream)
+
+  // Batch/serial unification (kq::Executor maps exec::StageMetrics into
+  // NodeMetrics so every mode reports through one shape). Zero/false on
+  // streaming runs, where combining is incremental and per-node.
+  std::string combiner;                // synthesized combiner display name
+  bool combiner_eliminated = false;    // Theorem 5 applied to this stage
+  bool combine_fallback = false;       // combiner failed; reran serially
 };
 
 struct StreamResult {
@@ -136,6 +157,13 @@ struct StreamResult {
 // Receives output in order; return false to stop the run early (the graph
 // tears down, the result stays ok with stopped_early set).
 using Sink = std::function<bool(std::string_view)>;
+
+// DEPRECATED entry points: new call sites should go through kq::Executor
+// (exec/executor.h), which folds these overloads, the batch runner, and the
+// serial reference behind one options/result shape. They remain for one PR
+// as the facade's implementation layer and for tests that exercise the
+// stream runtime directly; CI's deprecation gate rejects new uses in src/
+// and bench/ outside the wrapper TUs.
 
 // Core entry point: drain `input` through the dataflow graph into `sink`.
 StreamResult run_streaming(const std::vector<exec::ExecStage>& stages,

@@ -90,9 +90,8 @@ TEST_P(CatalogEquivalence, ParallelMatchesSerial) {
   options.input_bytes = 24 * 1024;  // small but multi-chunk
   options.parallelism = {2, 5};
   options.measure_original = false;
-  exec::ThreadPool pool(4);
   ScriptReport report =
-      run_script(script, shared_cache(), options, shared_fs(), pool);
+      run_script(script, shared_cache(), options, shared_fs());
   EXPECT_TRUE(report.outputs_match) << script.suite << "/" << script.name;
   EXPECT_EQ(report.pipelines.size(), script.pipelines.size());
   EXPECT_GT(report.stages_total(), 0);
@@ -122,9 +121,8 @@ TEST(Harness, WordFrequencyParallelizationCounts) {
   options.input_bytes = 32 * 1024;
   options.parallelism = {2};
   options.measure_original = false;
-  exec::ThreadPool pool(2);
   ScriptReport report =
-      run_script(*wf, shared_cache(), options, shared_fs(), pool);
+      run_script(*wf, shared_cache(), options, shared_fs());
   EXPECT_EQ(report.parallelized_cell(), "4/5");
   EXPECT_EQ(report.eliminated_cell(), "1");
   EXPECT_TRUE(report.outputs_match);
