@@ -4,6 +4,14 @@
 //   ./build/bench/stream_throughput [--mb=N] [--block-kb=N] [--k=N]
 //                                   [--spill-mb=N] [--no-speed-check]
 //                                   [--no-memory-check] [--json=PATH]
+//                                   [--io-backend=auto|uring|poll]
+//
+// --io-backend forces the kq::io engine for every streaming scenario
+// (default auto: kernel probe). Independent of that, the saturating-read
+// scenario always measures poll and io_uring explicitly side by side; its
+// io_uring leg records a skipped marker in the --json artifact when the
+// kernel probe fails, so the baseline diff reports the gap instead of
+// flagging a missing scenario.
 //
 // --no-memory-check skips the RSS verdicts (the input-relative bound and
 // the absolute 16 MiB window gate) for sanitizer builds, where shadow
@@ -34,11 +42,13 @@
 // Measurement ships back over a pipe. The input file is written
 // incrementally so generation never inflates the pre-fork footprint.
 
+#include <fcntl.h>
 #include <malloc.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -50,6 +60,7 @@
 #include "compile/optimize.h"
 #include "compile/plan.h"
 #include "exec/executor.h"
+#include "io/engine.h"
 #include "obs/trace.h"
 
 namespace {
@@ -234,6 +245,51 @@ Measurement run_streaming_file(const Compiled& compiled,
   return m;
 }
 
+// The fd-source twin: drives the run from a real file descriptor so the
+// SOURCE read path routes through the configured kq::io engine — the
+// istream adapter used by run_streaming_file only exercises the engine on
+// spill I/O. This is the harness for the per-backend saturating-read
+// scenario.
+Measurement run_streaming_fd_file(const Compiled& compiled,
+                                  const std::string& path, int k,
+                                  kq::ExecOptions options) {
+  Measurement m;
+#ifdef __GLIBC__
+  mallopt(M_MMAP_THRESHOLD, 128 << 10);
+#endif
+  std::size_t baseline = peak_rss_bytes();
+  options.mode = kq::ExecMode::kStream;
+  options.parallelism = k;
+  kq::Executor executor(options);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    std::cerr << "open " << path << " failed: " << std::strerror(errno)
+              << "\n";
+    m.ok = false;
+    return m;
+  }
+  std::size_t out_bytes = 0;
+  stream::Sink sink = [&out_bytes](std::string_view bytes) {
+    out_bytes += bytes.size();
+    return true;
+  };
+  kq::ExecResult r =
+      executor.run(compiled.stages, kq::Source::from_fd(fd), sink);
+  ::close(fd);
+  if (!r.ok) std::cerr << "streaming failed: " << r.error << "\n";
+  m.ok = r.ok;
+  std::size_t peak = peak_rss_bytes();
+  m.rss_growth = peak > baseline ? peak - baseline : 0;
+  m.seconds = r.seconds;
+  m.out_bytes = out_bytes;
+  m.peak_inflight = r.peak_inflight_bytes;
+  m.spilled = r.spilled_bytes;
+  m.bytes_read = r.bytes_read;
+  for (const stream::NodeMetrics& node : r.nodes)
+    m.spill_runs += static_cast<std::size_t>(node.spill_runs);
+  return m;
+}
+
 // The telemetry-overhead twin: same run with per-stage counters on (and
 // optionally a live tracer). The trace is discarded — only the wall-clock
 // cost of recording matters here.
@@ -281,8 +337,16 @@ double mib_per_s(std::size_t bytes, double seconds) {
 // One bench-gate scenario: a streaming measurement under a stable name,
 // serialized to the --json artifact for CI's regression diff.
 struct GateRecord {
+  GateRecord() = default;
+  GateRecord(std::string name_, Measurement m_)
+      : name(std::move(name_)), m(m_) {}
   std::string name;
   Measurement m;
+  // Set when the scenario could not run in this environment (e.g. the
+  // io_uring kernel probe failed): the artifact carries the reason instead
+  // of numbers, and check_bench_gate.py reports it rather than treating
+  // the scenario as missing.
+  std::string skipped;
 };
 
 void write_json(const std::string& path, std::size_t input_mb,
@@ -291,6 +355,12 @@ void write_json(const std::string& path, std::size_t input_mb,
   out << "{\n  \"input_mb\": " << input_mb << ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const GateRecord& r = records[i];
+    if (!r.skipped.empty()) {
+      out << "    {\"name\": \"" << r.name << "\", \"skipped\": \""
+          << r.skipped << "\"}" << (i + 1 < records.size() ? "," : "")
+          << "\n";
+      continue;
+    }
     out << "    {\"name\": \"" << r.name << "\", \"wall_s\": " << r.m.seconds
         << ", \"rss_growth_bytes\": " << r.m.rss_growth
         << ", \"bytes_read\": " << r.m.bytes_read
@@ -317,6 +387,16 @@ int main(int argc, char** argv) {
   const bool speed_check = !has_flag(argc, argv, "--no-speed-check");
   const bool memory_check = !has_flag(argc, argv, "--no-memory-check");
   const std::string json_path = arg_string(argc, argv, "--json");
+  io::Backend io_backend = io::Backend::kAuto;
+  {
+    std::string value = arg_string(argc, argv, "--io-backend");
+    if (!value.empty() && !io::parse_backend(value, &io_backend)) {
+      std::cerr << "stream_throughput: --io-backend must be auto, uring, or "
+                   "poll (got '"
+                << value << "')\n";
+      return 2;
+    }
+  }
   std::vector<GateRecord> gate_records;
   std::size_t input_bytes = input_mb << 20;
 
@@ -324,6 +404,7 @@ int main(int argc, char** argv) {
   config.parallelism = k;
   config.block_size = block_kb << 10;
   config.spill_threshold = spill_mb << 20;
+  config.io_backend = io_backend;
   std::size_t budget =
       (2 * static_cast<std::size_t>(k) + 2) * config.block_size;
 
@@ -632,6 +713,72 @@ int main(int argc, char** argv) {
     gate_records.push_back({"early-exit:head -n 10", h});
   }
 
+  // Saturating read: the folding pipeline driven from a real file
+  // descriptor, once per I/O backend. The fold's output is tiny and its
+  // per-record work is cheap, so the run is read-dominated — exactly where
+  // a submission-batched backend has to show up. The gate (full size only)
+  // requires the io_uring leg to match or beat poll on wall clock at
+  // equal-or-lower RSS growth modulo the fixed ring overhead; at smoke
+  // sizes both legs are still recorded for CI's baseline diff.
+  bool io_backend_ok = true;
+  {
+    const Compiled& compiled = compiled_pipelines[1];
+    std::cout << "\nsaturating read (fd source): " << kPipelines[1].cmd
+              << "\n";
+    kq::ExecOptions io_config = config;
+    io_config.io_backend = io::Backend::kPoll;
+    Measurement pollm = run_isolated(
+        [&] { return run_streaming_fd_file(compiled, path, k, io_config); });
+    std::cout << "  poll:  " << pollm.seconds << " s ("
+              << mib_per_s(input_bytes, pollm.seconds) << " MiB/s), RSS growth "
+              << (pollm.rss_growth >> 20) << " MiB\n";
+    if (!pollm.ok) all_ok = false;
+    gate_records.push_back(
+        {std::string("io-poll:") + kPipelines[1].cmd, pollm});
+    if (io::uring_supported()) {
+      io_config.io_backend = io::Backend::kUring;
+      Measurement uring = run_isolated([&] {
+        return run_streaming_fd_file(compiled, path, k, io_config);
+      });
+      std::cout << "  uring: " << uring.seconds << " s ("
+                << mib_per_s(input_bytes, uring.seconds)
+                << " MiB/s), RSS growth " << (uring.rss_growth >> 20)
+                << " MiB\n";
+      if (!uring.ok) all_ok = false;
+      if (pollm.out_bytes != uring.out_bytes) {
+        std::cout << "  ERROR: backends disagree on output size (poll "
+                  << pollm.out_bytes << " vs uring " << uring.out_bytes
+                  << ")\n";
+        all_ok = false;
+      }
+      gate_records.push_back(
+          {std::string("io-uring:") + kPipelines[1].cmd, uring});
+      const bool enforce_io =
+          speed_check && input_mb >= 64 && !fork_fallback_used;
+      if (enforce_io && uring.seconds > pollm.seconds * 1.05 + 0.05) {
+        std::cout << "  ERROR: io_uring is slower than poll on a "
+                     "read-dominated pipeline\n";
+        io_backend_ok = false;
+      }
+      // Equal-or-lower memory, with a fixed floor: the ring and its
+      // registered staging slots cost a bounded amount that smoke sizes
+      // would read as ratio noise.
+      if (enforce_io && memory_check &&
+          uring.rss_growth > pollm.rss_growth + (std::size_t(4) << 20)) {
+        std::cout << "  ERROR: io_uring RSS growth exceeds poll by more "
+                     "than the fixed ring overhead\n";
+        io_backend_ok = false;
+      }
+    } else {
+      std::cout << "  uring: skipped (io_uring unavailable on this "
+                   "kernel)\n";
+      GateRecord rec;
+      rec.name = std::string("io-uring:") + kPipelines[1].cmd;
+      rec.skipped = "io_uring unavailable on this kernel";
+      gate_records.push_back(std::move(rec));
+    }
+  }
+
   if (!json_path.empty()) {
     write_json(json_path, input_mb, gate_records);
     std::cout << "\nwrote " << gate_records.size() << " scenarios to "
@@ -663,12 +810,17 @@ int main(int argc, char** argv) {
             << "; sharded scaling "
             << (shard_scaling_ok ? "ok (or not enforced at this size)"
                                  : "FAILED")
+            << "; io backend "
+            << (!io::uring_supported()
+                    ? "comparison skipped (io_uring unavailable)"
+                    : (io_backend_ok ? "ok (or not enforced at this size)"
+                                     : "io_uring REGRESSED vs poll"))
             << "\n";
   std::remove(path.c_str());
   if (fork_fallback_used) bounded = window_bounded = true;  // unreliable
   if (!all_ok) std::cout << "verdict: FAILED (run or output error above)\n";
   return (all_ok && all_faster && bounded && window_bounded &&
-          telemetry_cheap && shard_scaling_ok)
+          telemetry_cheap && shard_scaling_ok && io_backend_ok)
              ? 0
              : 1;
 }

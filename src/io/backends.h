@@ -1,0 +1,26 @@
+// Internal factory seams between engine.cpp and the backend translation
+// units. Not part of the public kq::io surface — include io/engine.h.
+#pragma once
+
+#include <memory>
+
+#include "io/engine.h"
+
+namespace kq::stream {
+class BufferPool;
+}
+
+namespace kq::io {
+
+std::unique_ptr<Engine> make_poll_engine(FaultPlan* faults);
+
+// Null when the kernel lacks io_uring or ring setup fails (the caller
+// falls back to poll). Compiled to always-null where <linux/io_uring.h>
+// is unavailable.
+std::unique_ptr<Engine> make_uring_engine(FaultPlan* faults,
+                                          stream::BufferPool* pool);
+
+// The raw probe behind uring_supported() (uncached).
+bool probe_uring();
+
+}  // namespace kq::io

@@ -1,0 +1,134 @@
+#include "io/engine.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "io/backends.h"
+#include "obs/metrics.h"
+
+namespace kq::io {
+namespace {
+
+const char* errno_name(int err) {
+  switch (err) {
+    case EINTR: return "EINTR";
+    case EAGAIN: return "EAGAIN";
+    case EBADF: return "EBADF";
+    case EIO: return "EIO";
+    case ENOSPC: return "ENOSPC";
+    case EFBIG: return "EFBIG";
+    case EINVAL: return "EINVAL";
+    case ENOMEM: return "ENOMEM";
+    case EMSGSIZE: return "EMSGSIZE";
+    case EDQUOT: return "EDQUOT";
+    case EPIPE: return "EPIPE";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto: return "auto";
+    case Backend::kPoll: return "poll";
+    case Backend::kUring: return "uring";
+  }
+  return "?";
+}
+
+bool parse_backend(std::string_view text, Backend* out) {
+  if (text == "auto") {
+    *out = Backend::kAuto;
+  } else if (text == "poll") {
+    *out = Backend::kPoll;
+  } else if (text == "uring" || text == "io_uring") {
+    *out = Backend::kUring;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool uring_supported() {
+  static const bool supported = probe_uring();
+  return supported;
+}
+
+Backend resolve_backend(Backend requested) {
+  if (requested == Backend::kAuto) {
+    // The env override sits under the explicit flag: a CI job exports
+    // KQ_IO_BACKEND=poll to pin the fallback without touching every
+    // invocation, but a test that passes an explicit backend still wins.
+    if (const char* env = std::getenv("KQ_IO_BACKEND")) {
+      Backend parsed;
+      if (*env != '\0' && parse_backend(env, &parsed) &&
+          parsed != Backend::kAuto) {
+        requested = parsed;
+      }
+    }
+  }
+  if (requested == Backend::kAuto)
+    return uring_supported() ? Backend::kUring : Backend::kPoll;
+  if (requested == Backend::kUring && !uring_supported()) {
+    static const bool warned = [] {
+      std::fprintf(stderr,
+                   "kumquat: io_uring requested but unavailable on this "
+                   "kernel; falling back to poll\n");
+      return true;
+    }();
+    (void)warned;
+    return Backend::kPoll;
+  }
+  return requested;
+}
+
+Engine::~Engine() = default;
+
+void Engine::count_sqe_batch() {
+  ++stats_.sqe_batches;
+  if (obs::StageCounters* c = counters_.load(std::memory_order_acquire))
+    c->sqe_batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Engine::count_cqe_wait() {
+  ++stats_.cqe_waits;
+  if (obs::StageCounters* c = counters_.load(std::memory_order_acquire))
+    c->cqe_waits.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<Engine> make_engine(const IoOptions& options,
+                                    stream::BufferPool* pool) {
+  Backend backend = resolve_backend(options.backend);
+  if (backend == Backend::kUring) {
+    if (auto engine = make_uring_engine(options.faults, pool)) return engine;
+    // Probe said yes but this ring failed to come up (e.g. memlock limits
+    // hit under load): degrade quietly — the poll path is always correct.
+  }
+  return make_poll_engine(options.faults);
+}
+
+std::string coded_error(const char* op, int err) {
+  std::string message = "[KQ-IO] ";
+  message += op;
+  message += ": ";
+  message += std::strerror(err);
+  if (const char* name = errno_name(err)) {
+    message += " (";
+    message += name;
+    message += ")";
+  }
+  return message;
+}
+
+std::string coded_error(const char* op, const std::string& detail) {
+  std::string message = "[KQ-IO] ";
+  message += op;
+  message += ": ";
+  message += detail;
+  return message;
+}
+
+}  // namespace kq::io

@@ -1,0 +1,43 @@
+#include "io/fault.h"
+
+namespace kq::io {
+
+FaultDecision FaultPlan::next(FaultOp op) {
+  std::function<void()> hook;
+  FaultDecision decision;
+  {
+    sync::MutexLock lock(mu_);
+    std::size_t attempt = attempts_[static_cast<int>(op)]++;
+    for (const Fault& fault : faults_) {
+      if (fault.op != op) continue;
+      if (attempt < fault.at || attempt >= fault.at + fault.repeat) continue;
+      ++fired_;
+      switch (fault.kind) {
+        case Fault::Kind::kShortOp:
+          decision.action = FaultDecision::Action::kShortOp;
+          decision.cap = fault.cap;
+          break;
+        case Fault::Kind::kEintr:
+        case Fault::Kind::kEagain:
+          decision.action = FaultDecision::Action::kRetry;
+          break;
+        case Fault::Kind::kErrno:
+          decision.action = FaultDecision::Action::kFail;
+          decision.err = fault.err;
+          break;
+        case Fault::Kind::kCancel:
+          // The hook (typically BlockReader::cancel) runs outside the
+          // lock; the attempt then retries so the engine's own
+          // cancellation check observes the flag.
+          decision.action = FaultDecision::Action::kRetry;
+          hook = fault.hook;
+          break;
+      }
+      break;  // first matching fault wins for this attempt
+    }
+  }
+  if (hook) hook();
+  return decision;
+}
+
+}  // namespace kq::io

@@ -1,0 +1,198 @@
+// The portability backend: the poll(2)+read source loop the streaming
+// runtime always used (see the history of stream/block_reader.cpp), now
+// behind kq::io::Engine, plus synchronous pwrite/pread spill I/O. This is
+// the semantic reference the uring engine is cross-validated against
+// (tests/io_backend_test.cpp, tests/io_fault_test.cpp).
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "io/backends.h"
+#include "io/fault.h"
+
+namespace kq::io {
+namespace {
+
+// Poll interval for the source's cancellation check: short enough that a
+// cancelled reader blocked on an idle pipe wakes promptly, long enough
+// that an active stream pays one cheap always-ready poll per read.
+constexpr int kCancelPollMs = 50;
+
+class PollEngine : public Engine {
+ public:
+  explicit PollEngine(FaultPlan* faults) : faults_(faults) {}
+
+  const char* name() const override { return "poll"; }
+
+  std::size_t read_source(int fd, char* buf, std::size_t n,
+                          const SourceCtl& ctl) override {
+    while (true) {
+      if (ctl.cancel->load()) return 0;  // consumer-side stop, not error
+      std::size_t want = n;
+      switch (consult(FaultOp::kSourceRead, &want)) {
+        case FaultDecision::Action::kProceed:
+        case FaultDecision::Action::kShortOp:
+          break;
+        case FaultDecision::Action::kRetry:
+          continue;  // injected EINTR/EAGAIN: recheck cancel, re-poll
+        case FaultDecision::Action::kFail:
+          *ctl.error = fault_err_;
+          return 0;
+      }
+      // Wait for readability with a timeout instead of blocking in
+      // read(2): a cancel() while the producer pipe is idle is noticed at
+      // the next poll tick, not at the next (possibly never-arriving)
+      // block boundary. Regular files are always readable, so the poll is
+      // one cheap syscall on the non-pipe path.
+      struct pollfd pfd{fd, POLLIN, 0};
+      // Wait timing is opt-in (BlockReader::enable_wait_timing): only then
+      // is the clock consulted, and only a timed-out poll — an actual wait
+      // for the producer — is charged, so the saturated path stays
+      // clock-free apart from one relaxed flag load per read.
+      bool timing = ctl.time_waits->load(std::memory_order_relaxed);
+      std::chrono::steady_clock::time_point t0;
+      if (timing) t0 = std::chrono::steady_clock::now();
+      int ready = ::poll(&pfd, 1, kCancelPollMs);
+      if (timing && ready == 0) {
+        ctl.wait_ns->fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()),
+            std::memory_order_relaxed);
+      }
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        *ctl.error = errno;
+        return 0;
+      }
+      if (ready == 0) continue;  // timeout: recheck cancellation
+      ssize_t got = ::read(fd, buf, want);
+      if (got > 0) {
+        // Source gone idle? (zero-timeout poll after a successful read).
+        // A pipe read returns at most the pipe capacity (~64 KiB), so a
+        // short read alone cannot distinguish "producer is saturating the
+        // pipe" (keep batching toward a full block) from "producer went
+        // quiet" (flush what we have — see BlockReader::next). The poll
+        // must retry EINTR: a signal landing here would otherwise read as
+        // "idle" (poll() == -1 != 0) and trigger a spurious early flush —
+        // harmless for correctness but it shrinks blocks under signal
+        // load. A non-EINTR poll failure reports not-idle (keep batching);
+        // the main loop's poll will surface any persistent error.
+        int now;
+        do {
+          pfd.revents = 0;
+          now = ::poll(&pfd, 1, 0);
+        } while (now < 0 && errno == EINTR);
+        ctl.idle->store(now == 0);
+        return static_cast<std::size_t>(got);
+      }
+      if (got == 0) return 0;
+      if (errno == EINTR) continue;  // signal mid-read: re-poll and retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // O_NONBLOCK fd whose readability evaporated between poll and read
+        // (another consumer, or a spurious wakeup): wait again rather than
+        // misreporting a transient condition as a hard stream error.
+        continue;
+      }
+      *ctl.error = errno;  // hard error: flag it, end the stream
+      return 0;
+    }
+  }
+
+  bool write_at(int fd, std::string_view bytes, std::size_t offset,
+                std::string* error) override {
+    while (!bytes.empty()) {
+      std::size_t want = bytes.size();
+      switch (consult(FaultOp::kSpillWrite, &want)) {
+        case FaultDecision::Action::kProceed:
+        case FaultDecision::Action::kShortOp:
+          break;
+        case FaultDecision::Action::kRetry:
+          continue;
+        case FaultDecision::Action::kFail:
+          *error = coded_error("spill write", fault_err_);
+          return false;
+      }
+      ssize_t wrote =
+          ::pwrite(fd, bytes.data(), want, static_cast<off_t>(offset));
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        *error = coded_error("spill write", errno);
+        return false;
+      }
+      if (wrote == 0) {
+        // A zero-byte pwrite with a nonzero count is a stuck device;
+        // retrying would spin forever and a silent return would leave the
+        // run truncated (the old ENOSPC-adjacent bug).
+        *error = coded_error("spill write", "wrote 0 bytes (device full?)");
+        return false;
+      }
+      bytes.remove_prefix(static_cast<std::size_t>(wrote));
+      offset += static_cast<std::size_t>(wrote);
+    }
+    return true;
+  }
+
+  bool flush(int, std::string*) override {
+    return true;  // synchronous writes: nothing in flight
+  }
+
+  bool read_at(int fd, char* buf, std::size_t n, std::size_t offset,
+               std::string* error) override {
+    while (n > 0) {
+      std::size_t want = n;
+      switch (consult(FaultOp::kSpillRead, &want)) {
+        case FaultDecision::Action::kProceed:
+        case FaultDecision::Action::kShortOp:
+          break;
+        case FaultDecision::Action::kRetry:
+          continue;
+        case FaultDecision::Action::kFail:
+          *error = coded_error("spill read", fault_err_);
+          return false;
+      }
+      ssize_t got = ::pread(fd, buf, want, static_cast<off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        *error = coded_error("spill read", errno);
+        return false;
+      }
+      if (got == 0) {
+        *error = coded_error("spill read", "unexpected end of spill file");
+        return false;
+      }
+      buf += got;
+      offset += static_cast<std::size_t>(got);
+      n -= static_cast<std::size_t>(got);
+    }
+    return true;
+  }
+
+ private:
+  // Consults the fault seam for one attempt; kShortOp clamps *want (a cap
+  // of 0 is treated as 1 so a clamped attempt still makes progress).
+  FaultDecision::Action consult(FaultOp op, std::size_t* want) {
+    if (faults_ == nullptr) return FaultDecision::Action::kProceed;
+    FaultDecision d = faults_->next(op);
+    if (d.action == FaultDecision::Action::kShortOp)
+      *want = std::min(*want, std::max<std::size_t>(1, d.cap));
+    fault_err_ = d.err;
+    return d.action;
+  }
+
+  FaultPlan* const faults_;
+  int fault_err_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_poll_engine(FaultPlan* faults) {
+  return std::make_unique<PollEngine>(faults);
+}
+
+}  // namespace kq::io

@@ -1,0 +1,678 @@
+// io_uring backend, built on raw syscalls (the container carries no
+// liburing; the ABI below is the stable kernel interface from
+// <linux/io_uring.h>). One ring per engine, one engine per owning node
+// thread — the single-owner convention of docs/CONCURRENCY.md, so ring
+// head/tail handling needs the kernel-facing barriers only, never
+// cross-thread locking.
+//
+// Shapes used:
+//   - Source reads: IORING_OP_READ chained to IORING_OP_LINK_TIMEOUT with
+//     the runtime's 50 ms cancellation tick — the read either completes
+//     with data/EOF or comes back -ECANCELED when the tick fires, at which
+//     point the cancel flag is rechecked and the read re-armed. This is
+//     the uring equivalent of the poll engine's timeout poll, and it is
+//     what makes downstream close cancel an in-flight SQE instead of
+//     leaving a reader parked in the kernel. Regular files never block
+//     indefinitely, so their reads skip the timeout chain (one SQE per
+//     block instead of two — the saturating-read fast path).
+//   - Spill writes: copied into a slot of a registered staging buffer
+//     (drawn from stream::BufferPool when the runtime provides one) and
+//     submitted as IORING_OP_WRITE_FIXED batches; the caller's run buffer
+//     is reusable immediately and the node keeps sorting while the device
+//     drains. Short writes are re-armed for the remainder; completion
+//     errors (ENOSPC, EIO) stick and surface as coded [KQ-IO] errors on
+//     the next write/flush/read. IORING_REGISTER_BUFFERS failing (memlock
+//     rlimit) degrades to plain IORING_OP_WRITE through the same staging.
+//   - Merge reads: IORING_OP_READ at an explicit offset, waited
+//     synchronously (the merge heap needs the bytes before it can pick a
+//     winner, so there is nothing useful to overlap).
+
+#include "io/backends.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "io/fault.h"
+#include "stream/channel.h"
+
+namespace kq::io {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+int sys_io_uring_register(int fd, unsigned opcode, void* arg, unsigned nr) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr));
+}
+
+// Cancellation tick for pipe-source reads, matching the poll engine's
+// interval (see kCancelPollMs there): the LINK_TIMEOUT below is the same
+// 50 ms bound on how long a cancel() can go unnoticed.
+constexpr long long kCancelTickNs = 50LL * 1000 * 1000;
+
+constexpr unsigned kSqEntries = 32;
+// Write staging: kWriteSlots in-flight spill-write chunks of up to
+// kSlotBytes each. 8 x 128 KiB = 1 MiB, the same order as one block
+// buffer, drawn from the runtime's BufferPool budget when available.
+constexpr std::size_t kSlotBytes = 128 * 1024;
+constexpr unsigned kWriteSlots = 8;
+// Queued-but-unsubmitted SQE count that triggers a batched submit.
+constexpr unsigned kSubmitBatch = 4;
+
+struct KernelTimespec {  // struct __kernel_timespec without linux/time_types.h
+  long long tv_sec;
+  long long tv_nsec;
+};
+
+class UringEngine : public Engine {
+ public:
+  UringEngine(FaultPlan* faults, stream::BufferPool* pool)
+      : faults_(faults), pool_(pool) {
+    io_uring_params p{};
+    ring_fd_ = sys_io_uring_setup(kSqEntries, &p);
+    if (ring_fd_ < 0) return;
+
+    sq_size_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_size_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    std::size_t sq_map = single_mmap_ ? std::max(sq_size_, cq_size_)
+                                      : sq_size_;
+    sq_ring_ = ::mmap(nullptr, sq_map, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      teardown();
+      return;
+    }
+    if (single_mmap_) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_size_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        cq_ring_ = nullptr;
+        teardown();
+        return;
+      }
+    }
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, p.sq_entries * sizeof(io_uring_sqe),
+               PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE, ring_fd_,
+               IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      teardown();
+      return;
+    }
+    sq_entries_ = p.sq_entries;
+
+    auto* sq = static_cast<char*>(sq_ring_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<char*>(cq_ring_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    local_tail_ = *sq_tail_;
+
+    staging_ = pool_ ? pool_->acquire() : std::string();
+    staging_.resize(kWriteSlots * kSlotBytes);
+    iovec iov{staging_.data(), staging_.size()};
+    fixed_ok_ = sys_io_uring_register(ring_fd_, IORING_REGISTER_BUFFERS, &iov,
+                                      1) == 0;
+    for (unsigned i = 0; i < kWriteSlots; ++i) slot_busy_[i] = false;
+    valid_ = true;
+  }
+
+  ~UringEngine() override {
+    if (valid_) {
+      // Drain in-flight writes before unmapping: their completions point
+      // into staging_ and the ring pages. Errors are already sticky; a
+      // failed drain here has nowhere better to report.
+      std::string ignored;
+      (void)drain_writes(&ignored);
+    }
+    teardown();
+    if (pool_ && !staging_.empty()) pool_->release(std::move(staging_));
+  }
+
+  bool valid() const { return valid_; }
+  const char* name() const override { return "uring"; }
+
+  std::size_t read_source(int fd, char* buf, std::size_t n,
+                          const SourceCtl& ctl) override {
+    bool regular = is_regular(fd);
+    while (true) {
+      if (ctl.cancel->load()) return 0;  // consumer-side stop, not error
+      std::size_t want = n;
+      switch (consult(FaultOp::kSourceRead, &want)) {
+        case FaultDecision::Action::kProceed:
+        case FaultDecision::Action::kShortOp:
+          break;
+        case FaultDecision::Action::kRetry:
+          continue;
+        case FaultDecision::Action::kFail:
+          *ctl.error = fault_err_;
+          return 0;
+      }
+
+      std::uint64_t id = next_id_++;
+      io_uring_sqe* sqe = get_sqe();
+      if (sqe == nullptr) {
+        *ctl.error = enter_errno_;
+        return 0;
+      }
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+      sqe->len = static_cast<unsigned>(want);
+      sqe->off = static_cast<std::uint64_t>(-1);  // read(2) file-position
+      sqe->user_data = id;
+      pending_.emplace(id, Pending{Pending::Kind::kSync});
+      if (!regular) {
+        // Chain the cancellation tick: the read completes -ECANCELED when
+        // the timeout fires first, and the timeout completes -ECANCELED
+        // when the read wins. Regular files always complete promptly, so
+        // they skip the chain (and the extra SQE).
+        sqe->flags |= IOSQE_IO_LINK;
+        std::uint64_t tid = next_id_++;
+        io_uring_sqe* tsqe = get_sqe();
+        if (tsqe == nullptr) {
+          *ctl.error = enter_errno_;
+          return 0;
+        }
+        std::memset(tsqe, 0, sizeof(*tsqe));
+        tsqe->opcode = IORING_OP_LINK_TIMEOUT;
+        tsqe->addr = reinterpret_cast<std::uint64_t>(&tick_);
+        tsqe->len = 1;
+        tsqe->user_data = tid;
+        pending_.emplace(tid, Pending{Pending::Kind::kTimeout});
+      }
+
+      bool timing =
+          !regular && ctl.time_waits->load(std::memory_order_relaxed);
+      std::chrono::steady_clock::time_point t0;
+      if (timing) t0 = std::chrono::steady_clock::now();
+      int res;
+      if (!wait_sync(id, &res)) {
+        *ctl.error = enter_errno_;
+        return 0;
+      }
+      if (res > 0) {
+        // Source gone idle? Same zero-timeout readability probe (and
+        // EINTR retry) as the poll engine — the flush heuristic in
+        // BlockReader::next must behave identically on both backends.
+        if (regular) {
+          ctl.idle->store(false);
+        } else {
+          struct pollfd pfd{fd, POLLIN, 0};
+          int now;
+          do {
+            pfd.revents = 0;
+            now = ::poll(&pfd, 1, 0);
+          } while (now < 0 && errno == EINTR);
+          ctl.idle->store(now == 0);
+        }
+        return static_cast<std::size_t>(res);
+      }
+      if (res == 0) return 0;  // end of input
+      if (res == -ECANCELED) {
+        // The cancellation tick fired while the producer was idle: this
+        // was a real wait, charged like the poll engine's timed-out poll.
+        if (timing) {
+          ctl.wait_ns->fetch_add(
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count()),
+              std::memory_order_relaxed);
+        }
+        continue;  // recheck cancellation, re-arm the read
+      }
+      if (res == -EINTR || res == -EAGAIN) continue;
+      *ctl.error = -res;
+      return 0;
+    }
+  }
+
+  bool write_at(int fd, std::string_view bytes, std::size_t offset,
+                std::string* error) override {
+    if (!write_error_.empty()) {
+      *error = write_error_;
+      return false;
+    }
+    while (!bytes.empty()) {
+      std::size_t want = std::min(bytes.size(), kSlotBytes);
+      switch (consult(FaultOp::kSpillWrite, &want)) {
+        case FaultDecision::Action::kProceed:
+        case FaultDecision::Action::kShortOp:
+          break;
+        case FaultDecision::Action::kRetry:
+          continue;
+        case FaultDecision::Action::kFail:
+          write_error_ = coded_error("spill write", fault_err_);
+          *error = write_error_;
+          return false;
+      }
+      int slot = acquire_slot(error);
+      if (slot < 0) return false;
+      char* stage = staging_.data() + slot * kSlotBytes;
+      std::memcpy(stage, bytes.data(), want);
+      if (!queue_write(fd, slot, stage, static_cast<unsigned>(want), offset,
+                       error))
+        return false;
+      bytes.remove_prefix(want);
+      offset += want;
+      if (queued_ >= kSubmitBatch && !submit(0, error)) return false;
+    }
+    return true;
+  }
+
+  bool flush(int, std::string* error) override { return drain_writes(error); }
+
+  bool read_at(int fd, char* buf, std::size_t n, std::size_t offset,
+               std::string* error) override {
+    // Merge reads see the file the writes built: all queued writes must
+    // land first (they may cover the very extent being read).
+    if (!drain_writes(error)) return false;
+    while (n > 0) {
+      std::size_t want = n;
+      switch (consult(FaultOp::kSpillRead, &want)) {
+        case FaultDecision::Action::kProceed:
+        case FaultDecision::Action::kShortOp:
+          break;
+        case FaultDecision::Action::kRetry:
+          continue;
+        case FaultDecision::Action::kFail:
+          *error = coded_error("spill read", fault_err_);
+          return false;
+      }
+      std::uint64_t id = next_id_++;
+      io_uring_sqe* sqe = get_sqe();
+      if (sqe == nullptr) {
+        *error = coded_error("spill read", enter_errno_);
+        return false;
+      }
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(buf);
+      sqe->len = static_cast<unsigned>(want);
+      sqe->off = offset;
+      sqe->user_data = id;
+      pending_.emplace(id, Pending{Pending::Kind::kSync});
+      int res;
+      if (!wait_sync(id, &res)) {
+        *error = coded_error("spill read", enter_errno_);
+        return false;
+      }
+      if (res < 0) {
+        if (res == -EINTR || res == -EAGAIN) continue;
+        *error = coded_error("spill read", -res);
+        return false;
+      }
+      if (res == 0) {
+        *error = coded_error("spill read", "unexpected end of spill file");
+        return false;
+      }
+      buf += res;
+      offset += static_cast<std::size_t>(res);
+      n -= static_cast<std::size_t>(res);
+    }
+    return true;
+  }
+
+ private:
+  struct Pending {
+    enum class Kind { kSync, kTimeout, kWrite };
+    Kind kind = Kind::kSync;
+    bool done = false;
+    int res = 0;
+    // kWrite bookkeeping for short-write re-arming.
+    int fd = -1;
+    unsigned slot = 0;
+    const char* data = nullptr;
+    unsigned len = 0;
+    std::size_t offset = 0;
+  };
+
+  FaultDecision::Action consult(FaultOp op, std::size_t* want) {
+    if (faults_ == nullptr) return FaultDecision::Action::kProceed;
+    FaultDecision d = faults_->next(op);
+    if (d.action == FaultDecision::Action::kShortOp)
+      *want = std::min(*want, std::max<std::size_t>(1, d.cap));
+    fault_err_ = d.err;
+    return d.action;
+  }
+
+  bool is_regular(int fd) {
+    if (fd != cached_fd_) {
+      struct stat st{};
+      cached_regular_ = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+      cached_fd_ = fd;
+    }
+    return cached_regular_;
+  }
+
+  // A free SQE slot, or null after a hard io_uring_enter failure (then
+  // enter_errno_ holds the errno). The SQ frees as the kernel consumes
+  // entries at submit, so making space never requires reaping completions.
+  io_uring_sqe* get_sqe() {
+    while (local_tail_ - __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE) >=
+           sq_entries_) {
+      std::string ignored;
+      if (!submit(0, &ignored)) return nullptr;
+    }
+    unsigned idx = local_tail_ & sq_mask_;
+    sq_array_[idx] = idx;
+    ++local_tail_;
+    ++queued_;
+    return &sqes_[idx];
+  }
+
+  // Publishes queued SQEs and submits them, optionally blocking for
+  // `wait_n` completions. False only on a hard enter failure.
+  bool submit(unsigned wait_n, std::string* error) {
+    __atomic_store_n(sq_tail_, local_tail_, __ATOMIC_RELEASE);
+    while (true) {
+      unsigned flags = wait_n > 0 ? IORING_ENTER_GETEVENTS : 0;
+      if (queued_ == 0 && wait_n == 0) return true;
+      if (wait_n > 0) count_cqe_wait();
+      int ret = sys_io_uring_enter(ring_fd_, queued_, wait_n, flags);
+      if (ret < 0) {
+        if (errno == EINTR) continue;
+        enter_errno_ = errno;
+        *error = coded_error("io_uring_enter", errno);
+        return false;
+      }
+      if (ret > 0) count_sqe_batch();
+      queued_ -= static_cast<unsigned>(ret);
+      return true;
+    }
+  }
+
+  // Drains the completion queue, re-arming short writes and recording
+  // write errors sticky. Never blocks.
+  void reap() {
+    unsigned head = *cq_head_;
+    unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    bool any = head != tail;
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      handle_cqe(cqe.user_data, cqe.res);
+      ++head;
+    }
+    if (any) __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+    // Re-arm outside the CQ drain so a rearm's own submit never races the
+    // head publication above.
+    for (const Rearm& r : rearm_) {
+      io_uring_sqe* sqe = get_sqe();
+      if (sqe == nullptr) {
+        if (write_error_.empty())
+          write_error_ = coded_error("spill write", enter_errno_);
+        slot_busy_[rearm_slot(r)] = false;
+        continue;
+      }
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = fixed_ok_ ? IORING_OP_WRITE_FIXED : IORING_OP_WRITE;
+      sqe->fd = r.p.fd;
+      sqe->addr = reinterpret_cast<std::uint64_t>(r.p.data);
+      sqe->len = r.p.len;
+      sqe->off = r.p.offset;
+      sqe->buf_index = 0;
+      sqe->user_data = r.id;
+      pending_.emplace(r.id, r.p);
+    }
+    rearm_.clear();
+  }
+
+  struct Rearm {
+    std::uint64_t id;
+    Pending p;
+  };
+  static unsigned rearm_slot(const Rearm& r) { return r.p.slot; }
+
+  void handle_cqe(std::uint64_t id, int res) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // already-consumed stray (none known)
+    Pending& p = it->second;
+    switch (p.kind) {
+      case Pending::Kind::kSync:
+        p.done = true;
+        p.res = res;
+        return;  // consumed by wait_sync
+      case Pending::Kind::kTimeout:
+        pending_.erase(it);  // -ETIME or -ECANCELED; the read CQE decides
+        return;
+      case Pending::Kind::kWrite:
+        break;
+    }
+    Pending w = p;
+    pending_.erase(it);
+    if (res == -EINTR || res == -EAGAIN) {
+      rearm_.push_back({next_id_++, w});
+      return;
+    }
+    if (res < 0) {
+      if (write_error_.empty())
+        write_error_ = coded_error("spill write", -res);
+      slot_busy_[w.slot] = false;
+      return;
+    }
+    if (res == 0) {
+      if (write_error_.empty())
+        write_error_ =
+            coded_error("spill write", "wrote 0 bytes (device full?)");
+      slot_busy_[w.slot] = false;
+      return;
+    }
+    if (static_cast<unsigned>(res) < w.len) {
+      // Short write: the device took a prefix — re-arm the remainder at
+      // the advanced offset (the truncated-run bug this engine must never
+      // reintroduce).
+      Pending rest = w;
+      rest.data += res;
+      rest.len -= static_cast<unsigned>(res);
+      rest.offset += static_cast<std::size_t>(res);
+      rearm_.push_back({next_id_++, rest});
+      return;
+    }
+    slot_busy_[w.slot] = false;
+  }
+
+  // Blocks until the kSync op `id` completes. False on enter failure.
+  bool wait_sync(std::uint64_t id, int* res) {
+    while (true) {
+      reap();
+      auto it = pending_.find(id);
+      if (it != pending_.end() && it->second.done) {
+        *res = it->second.res;
+        pending_.erase(it);
+        return true;
+      }
+      std::string ignored;
+      if (!submit(1, &ignored)) return false;
+    }
+  }
+
+  int acquire_slot(std::string* error) {
+    while (true) {
+      reap();
+      if (!write_error_.empty()) {
+        *error = write_error_;
+        return -1;
+      }
+      for (unsigned i = 0; i < kWriteSlots; ++i)
+        if (!slot_busy_[i]) {
+          slot_busy_[i] = true;
+          return static_cast<int>(i);
+        }
+      if (!submit(1, error)) return -1;
+    }
+  }
+
+  bool queue_write(int fd, int slot, const char* data, unsigned len,
+                   std::size_t offset, std::string* error) {
+    std::uint64_t id = next_id_++;
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) {
+      *error = coded_error("spill write", enter_errno_);
+      slot_busy_[slot] = false;
+      return false;
+    }
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = fixed_ok_ ? IORING_OP_WRITE_FIXED : IORING_OP_WRITE;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(data);
+    sqe->len = len;
+    sqe->off = offset;
+    sqe->buf_index = 0;
+    sqe->user_data = id;
+    Pending p;
+    p.kind = Pending::Kind::kWrite;
+    p.fd = fd;
+    p.slot = static_cast<unsigned>(slot);
+    p.data = data;
+    p.len = len;
+    p.offset = offset;
+    pending_.emplace(id, p);
+    return true;
+  }
+
+  bool writes_inflight() const {
+    for (unsigned i = 0; i < kWriteSlots; ++i)
+      if (slot_busy_[i]) return true;
+    return false;
+  }
+
+  bool drain_writes(std::string* error) {
+    while (true) {
+      reap();
+      if (!writes_inflight()) break;
+      if (!submit(1, error)) return false;
+    }
+    if (queued_ > 0 && !submit(0, error)) return false;
+    if (!write_error_.empty()) {
+      *error = write_error_;
+      return false;
+    }
+    return true;
+  }
+
+  void teardown() {
+    if (sqes_ != nullptr)
+      ::munmap(sqes_, sq_entries_ * sizeof(io_uring_sqe));
+    if (sq_ring_ != nullptr && sq_ring_ != MAP_FAILED) {
+      std::size_t sq_map = single_mmap_ ? std::max(sq_size_, cq_size_)
+                                        : sq_size_;
+      ::munmap(sq_ring_, sq_map);
+    }
+    if (!single_mmap_ && cq_ring_ != nullptr) ::munmap(cq_ring_, cq_size_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+    sqes_ = nullptr;
+    sq_ring_ = cq_ring_ = nullptr;
+    ring_fd_ = -1;
+    valid_ = false;
+  }
+
+  FaultPlan* const faults_;
+  stream::BufferPool* const pool_;
+  int fault_err_ = 0;
+
+  bool valid_ = false;
+  int ring_fd_ = -1;
+  bool single_mmap_ = false;
+  std::size_t sq_size_ = 0, cq_size_ = 0;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  unsigned sq_entries_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned local_tail_ = 0;  // our copy of *sq_tail_ (single owner)
+  unsigned queued_ = 0;      // published-but-unsubmitted SQEs
+  int enter_errno_ = 0;
+
+  KernelTimespec tick_{0, kCancelTickNs};
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<Rearm> rearm_;
+
+  std::string staging_;
+  bool fixed_ok_ = false;
+  bool slot_busy_[kWriteSlots];
+  std::string write_error_;
+
+  int cached_fd_ = -1;
+  bool cached_regular_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> make_uring_engine(FaultPlan* faults,
+                                          stream::BufferPool* pool) {
+  auto engine = std::make_unique<UringEngine>(faults, pool);
+  if (!engine->valid()) return nullptr;
+  return engine;
+}
+
+bool probe_uring() {
+  io_uring_params p{};
+  int fd = sys_io_uring_setup(2, &p);
+  if (fd < 0) return false;
+  ::close(fd);
+  // LINK_TIMEOUT (5.5) is the oldest opcode the engine leans on; kernels
+  // new enough to ship io_uring features flags all have it. Treat a
+  // successful setup as support — a per-op failure would surface as an
+  // -EINVAL CQE and the engine degrades per-run via make_engine's
+  // poll fallback on construction failure only, so keep the probe cheap.
+  return true;
+}
+
+}  // namespace kq::io
+
+#else  // no <linux/io_uring.h>
+
+namespace kq::io {
+
+std::unique_ptr<Engine> make_uring_engine(FaultPlan*, stream::BufferPool*) {
+  return nullptr;
+}
+
+bool probe_uring() { return false; }
+
+}  // namespace kq::io
+
+#endif

@@ -1,13 +1,10 @@
 #include "stream/block_reader.h"
 
-#include <poll.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <istream>
 
+#include "io/engine.h"
 #include "obs/trace.h"
 
 namespace kq::stream {
@@ -49,82 +46,29 @@ BlockReader::ReadFn stream_source(std::istream& in, std::shared_ptr<int> error,
   };
 }
 
-// Poll interval for the fd source's cancellation check: short enough that
-// a cancelled reader blocked on an idle pipe wakes promptly, long enough
-// that an active stream pays one cheap always-ready poll per read.
-constexpr int kCancelPollMs = 50;
-
-BlockReader::ReadFn fd_source(
-    int fd, std::shared_ptr<int> error,
+// The fd source delegates the poll-vs-uring syscall strategy to the I/O
+// engine (src/io/engine.h) — the poll engine's loop is the one that used
+// to live right here; the engine seam is what makes the backend swappable
+// and the cancellation/idle/wait contract testable on both. The lambda
+// captures the reader's shared flag state and hands the engine a SourceCtl
+// view of it per read.
+BlockReader::ReadFn engine_source(
+    io::Engine* engine, int fd, std::shared_ptr<int> error,
     std::shared_ptr<std::atomic<bool>> cancel,
     std::shared_ptr<std::atomic<bool>> idle,
     std::shared_ptr<std::atomic<bool>> time_waits,
     std::shared_ptr<std::atomic<std::uint64_t>> wait_ns) {
-  return [fd, error = std::move(error), cancel = std::move(cancel),
+  return [engine, fd, error = std::move(error), cancel = std::move(cancel),
           idle = std::move(idle), time_waits = std::move(time_waits),
           wait_ns = std::move(wait_ns)](char* buf,
                                         std::size_t n) -> std::size_t {
-    while (true) {
-      if (cancel->load()) return 0;  // clean consumer-side stop, not error
-      // Wait for readability with a timeout instead of blocking in
-      // read(2): a cancel() while the producer pipe is idle is noticed at
-      // the next poll tick, not at the next (possibly never-arriving)
-      // block boundary. Regular files are always readable, so the poll is
-      // one cheap syscall on the non-pipe path.
-      struct pollfd pfd{fd, POLLIN, 0};
-      // Wait timing is opt-in (see enable_wait_timing): only then is the
-      // clock consulted, and only a timed-out poll — an actual wait for
-      // the producer — is charged, so the saturated path stays clock-free
-      // apart from one relaxed flag load per read.
-      bool timing = time_waits->load(std::memory_order_relaxed);
-      std::chrono::steady_clock::time_point t0;
-      if (timing) t0 = std::chrono::steady_clock::now();
-      int ready = ::poll(&pfd, 1, kCancelPollMs);
-      if (timing && ready == 0) {
-        wait_ns->fetch_add(
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count()),
-            std::memory_order_relaxed);
-      }
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        *error = errno;
-        return 0;
-      }
-      if (ready == 0) continue;  // timeout: recheck cancellation
-      ssize_t got = ::read(fd, buf, n);
-      if (got > 0) {
-        // Source gone idle? (zero-timeout poll after a successful read).
-        // A pipe read returns at most the pipe capacity (~64 KiB), so a
-        // short read alone cannot distinguish "producer is saturating the
-        // pipe" (keep batching toward a full block) from "producer went
-        // quiet" (flush what we have — see BlockReader::next). The poll
-        // must retry EINTR: a signal landing here would otherwise read as
-        // "idle" (poll() == -1 != 0) and trigger a spurious early flush —
-        // harmless for correctness but it shrinks blocks under signal
-        // load. A non-EINTR poll failure reports not-idle (keep batching);
-        // the main loop's poll will surface any persistent error.
-        int now;
-        do {
-          pfd.revents = 0;
-          now = ::poll(&pfd, 1, 0);
-        } while (now < 0 && errno == EINTR);
-        idle->store(now == 0);
-        return static_cast<std::size_t>(got);
-      }
-      if (got == 0) return 0;
-      if (errno == EINTR) continue;  // signal mid-read: re-poll and retry
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // O_NONBLOCK fd whose readability evaporated between poll and read
-        // (another consumer, or a spurious wakeup): wait again rather than
-        // misreporting a transient condition as a hard stream error.
-        continue;
-      }
-      *error = errno;  // hard error: flag it, end the stream
-      return 0;
-    }
+    io::SourceCtl ctl;
+    ctl.cancel = cancel.get();
+    ctl.idle = idle.get();
+    ctl.time_waits = time_waits.get();
+    ctl.wait_ns = wait_ns.get();
+    ctl.error = error.get();
+    return engine->read_source(fd, buf, n, ctl);
   };
 }
 
@@ -134,7 +78,17 @@ BlockReader::BlockReader(std::istream& in, BlockReaderOptions options)
     : read_(stream_source(in, error_, cancel_)), options_(sanitize(options)) {}
 
 BlockReader::BlockReader(int fd, BlockReaderOptions options)
-    : read_(fd_source(fd, error_, cancel_, idle_, time_waits_, wait_ns_)),
+    : owned_engine_(io::make_engine()),
+      engine_(owned_engine_.get()),
+      read_(engine_source(engine_, fd, error_, cancel_, idle_, time_waits_,
+                          wait_ns_)),
+      options_(sanitize(options)) {}
+
+BlockReader::BlockReader(int fd, io::Engine* engine,
+                         BlockReaderOptions options)
+    : engine_(engine),
+      read_(engine_source(engine_, fd, error_, cancel_, idle_, time_waits_,
+                          wait_ns_)),
       options_(sanitize(options)) {}
 
 BlockReader::BlockReader(ReadFn read, BlockReaderOptions options)

@@ -58,6 +58,7 @@
 
 #include "exec/runner.h"
 #include "exec/thread_pool.h"
+#include "io/engine.h"
 
 namespace kq::obs {
 class Tracer;
@@ -88,6 +89,11 @@ struct StreamConfig {
   // slot count down so the byte budget (max_inflight · block_size) is
   // unchanged.
   std::size_t shard_slice = 0;
+  // I/O backend selection and the fault-injection seam (src/io/engine.h):
+  // the fd source and every spill file route their syscalls through a
+  // kq::io::Engine built from this. kAuto resolves via KQ_IO_BACKEND and
+  // the kernel probe.
+  io::IoOptions io;
   // Telemetry (src/obs/). `stats` allocates per-node obs::StageCounters and
   // wires blocked-time/record/pool accounting through the run — the
   // extended NodeMetrics fields below are zero without it. A non-null
@@ -128,6 +134,8 @@ struct NodeMetrics {
   std::uint64_t pool_misses = 0;       // BufferPool acquires fresh
   std::uint64_t shard_slices = 0;      // slices shard workers executed
   std::uint64_t worker_busy_ns = 0;    // summed shard-worker execution time
+  std::uint64_t sqe_batches = 0;       // io_uring submit batches (0 on poll)
+  std::uint64_t cqe_waits = 0;         // io_uring completion waits (0 on poll)
   std::string early_exit;              // why input stopped early ("" = ran
                                        // to end of stream)
 
@@ -148,6 +156,9 @@ struct StreamResult {
   // Input bytes the BlockReader delivered — far below the input size when
   // a prefix-bounded stage (head) cancelled the upstream early.
   std::size_t bytes_read = 0;
+  // Resolved I/O backend the run used ("poll" or "uring") — what kAuto
+  // landed on, for the --stats footer and backend-equivalence tests.
+  std::string io_backend;
   std::vector<NodeMetrics> nodes;
   bool stopped_early = false;      // the sink returned false (ok stays true)
   bool combine_undefined = false;  // !ok because a combiner bailed mid-fold

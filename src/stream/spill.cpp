@@ -19,10 +19,6 @@ namespace {
 // cheap, large enough to amortize pread syscalls.
 constexpr std::size_t kCursorRead = 64 * 1024;
 
-std::string errno_message(const char* what) {
-  return std::string(what) + ": " + std::strerror(errno);
-}
-
 // Streams the lines of one sorted run — disk-backed (bounded buffer) or
 // resident (the final never-spilled run). line() stays valid until the
 // next advance() on the same cursor, which is all the merge heap needs.
@@ -82,61 +78,52 @@ class RunCursor {
 
 // -------------------------------------------------------------- SpillFile --
 
-SpillFile::SpillFile() {
+SpillFile::SpillFile(io::IoOptions io, obs::StageCounters* counters)
+    : engine_(io::make_engine(io)) {
+  engine_->set_counters(counters);
   const char* dir = std::getenv("TMPDIR");
   if (dir == nullptr || *dir == '\0') dir = "/tmp";
   std::string path = std::string(dir) + "/kumquat-spill-XXXXXX";
   fd_ = ::mkstemp(path.data());
   if (fd_ < 0) {
-    error_ = errno_message("mkstemp");
+    error_ = io::coded_error("spill mkstemp", errno);
     return;
   }
   ::unlink(path.c_str());  // reclaimed even on abnormal exit
 }
 
 SpillFile::~SpillFile() {
+  // The engine may still hold queued async writes against fd_: destroy it
+  // (which drains its ring) before closing the descriptor.
+  engine_.reset();
   if (fd_ >= 0) ::close(fd_);
 }
 
 bool SpillFile::append(std::string_view bytes) {
   if (fd_ < 0) return false;
-  while (!bytes.empty()) {
-    ssize_t wrote = ::write(fd_, bytes.data(), bytes.size());
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      error_ = errno_message("spill write");
-      return false;
-    }
-    size_ += static_cast<std::size_t>(wrote);
-    bytes.remove_prefix(static_cast<std::size_t>(wrote));
-  }
+  if (!error_.empty()) return false;
+  // Appends are offset writes at the logical size: the uring engine queues
+  // them and overlaps the device with the owner's next sort/merge batch,
+  // so size_ advances with the queue (completion errors — including the
+  // partial-write-then-ENOSPC shape that used to truncate a run silently —
+  // surface as coded [KQ-IO] errors here or at the pre-read flush).
+  if (!engine_->write_at(fd_, bytes, size_, &error_)) return false;
+  size_ += bytes.size();
   return true;
 }
 
 bool SpillFile::read_exact(std::size_t offset, char* buf,
                            std::size_t n) const {
-  while (n > 0) {
-    ssize_t got = ::pread(fd_, buf, n, static_cast<off_t>(offset));
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      error_ = errno_message("spill read");
-      return false;
-    }
-    if (got == 0) {
-      error_ = "spill read: unexpected end of spill file";
-      return false;
-    }
-    buf += got;
-    offset += static_cast<std::size_t>(got);
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
+  if (!error_.empty()) return false;
+  if (!engine_->flush(fd_, &error_)) return false;
+  return engine_->read_at(fd_, buf, n, offset, &error_);
 }
 
 // --------------------------------------------------------------- RawSpool --
 
-RawSpool::RawSpool(std::size_t threshold, MemoryGauge* gauge)
-    : threshold_(threshold), gauge_(gauge) {}
+RawSpool::RawSpool(std::size_t threshold, MemoryGauge* gauge,
+                   io::IoOptions io, obs::StageCounters* counters)
+    : threshold_(threshold), gauge_(gauge), io_(io), counters_(counters) {}
 
 RawSpool::~RawSpool() {
   if (gauge_) gauge_->sub(buffer_.size());
@@ -150,7 +137,7 @@ bool RawSpool::add(std::string_view bytes) {
   if (threshold_ == 0 || buffer_.size() < threshold_) return true;
   auto span = obs::span(tracer_, label_ + ": spool-spill", "spill");
   span.arg("bytes", buffer_.size());
-  if (!file_) file_ = std::make_unique<SpillFile>();
+  if (!file_) file_ = std::make_unique<SpillFile>(io_, counters_);
   if (!file_->append(buffer_)) {
     error_ = file_->error();
     return false;
@@ -193,9 +180,10 @@ bool RawSpool::take(std::string* out) {
 
 SpillMerger::SpillMerger(std::shared_ptr<const cmd::SortSpec> spec,
                          Input mode, std::size_t threshold,
-                         MemoryGauge* gauge)
+                         MemoryGauge* gauge, io::IoOptions io,
+                         obs::StageCounters* counters)
     : spec_(std::move(spec)), mode_(mode), threshold_(threshold),
-      gauge_(gauge) {}
+      gauge_(gauge), io_(io), counters_(counters) {}
 
 SpillMerger::~SpillMerger() { drop_mem(mem_bytes_); }
 
@@ -240,7 +228,7 @@ bool SpillMerger::flush_run() {
   if (run.empty()) return true;
   auto span = obs::span(tracer_, label_ + ": spill-run", "spill");
   span.arg("bytes", run.size());
-  if (!file_) file_ = std::make_unique<SpillFile>();
+  if (!file_) file_ = std::make_unique<SpillFile>(io_, counters_);
   if (!file_->valid()) {
     error_ = file_->error();
     return false;

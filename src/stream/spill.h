@@ -43,12 +43,15 @@
 #include <string_view>
 #include <vector>
 
+#include "io/engine.h"
+
 namespace kq::cmd {
 class SortSpec;
 }
 
 namespace kq::obs {
 class Tracer;
+struct StageCounters;
 }
 
 namespace kq::stream {
@@ -56,10 +59,14 @@ namespace kq::stream {
 class MemoryGauge;
 
 // An unlinked temp file (in $TMPDIR, else /tmp): append writes, positioned
-// reads, auto-reclaimed on destruction or process death.
+// reads, auto-reclaimed on destruction or process death. All I/O goes
+// through a kq::io::Engine built from `io` — on the uring backend appends
+// are queued asynchronously (size() counts queued bytes; errors surface on
+// a later append or the pre-read flush), on poll they complete in place.
 class SpillFile {
  public:
-  SpillFile();
+  explicit SpillFile(io::IoOptions io = {},
+                     obs::StageCounters* counters = nullptr);
   ~SpillFile();
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
@@ -70,10 +77,12 @@ class SpillFile {
 
   std::size_t size() const { return size_; }
   bool append(std::string_view bytes);
-  // Reads exactly `n` bytes at `offset`; false on I/O error or short read.
+  // Reads exactly `n` bytes at `offset`, after waiting out any queued
+  // appends; false on I/O error or short read.
   bool read_exact(std::size_t offset, char* buf, std::size_t n) const;
 
  private:
+  std::unique_ptr<io::Engine> engine_;
   int fd_ = -1;
   std::size_t size_ = 0;
   mutable std::string error_;
@@ -84,7 +93,9 @@ class SpillFile {
 // threshold of 0 disables spilling (pure in-memory accumulation).
 class RawSpool {
  public:
-  explicit RawSpool(std::size_t threshold, MemoryGauge* gauge = nullptr);
+  explicit RawSpool(std::size_t threshold, MemoryGauge* gauge = nullptr,
+                    io::IoOptions io = {},
+                    obs::StageCounters* counters = nullptr);
   ~RawSpool();
 
   bool add(std::string_view bytes);
@@ -107,6 +118,8 @@ class RawSpool {
  private:
   const std::size_t threshold_;
   MemoryGauge* const gauge_;
+  const io::IoOptions io_;
+  obs::StageCounters* const counters_;
   obs::Tracer* tracer_ = nullptr;
   std::string label_;
   std::string buffer_;
@@ -130,7 +143,9 @@ class SpillMerger {
   // `spec` supplies the comparator (and -u/-s semantics). `threshold` is
   // the in-memory batch budget; 0 means never spill (single in-memory run).
   SpillMerger(std::shared_ptr<const cmd::SortSpec> spec, Input mode,
-              std::size_t threshold, MemoryGauge* gauge = nullptr);
+              std::size_t threshold, MemoryGauge* gauge = nullptr,
+              io::IoOptions io = {},
+              obs::StageCounters* counters = nullptr);
   ~SpillMerger();
 
   // False on spill I/O error (see error()).
@@ -169,6 +184,8 @@ class SpillMerger {
   const Input mode_;
   const std::size_t threshold_;
   MemoryGauge* const gauge_;
+  const io::IoOptions io_;
+  obs::StageCounters* const counters_;
   obs::Tracer* tracer_ = nullptr;
   std::string label_;
 

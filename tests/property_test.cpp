@@ -6,14 +6,26 @@
 //  * Theorems 3/4 (StructOp): same for table-shaped commands.
 //  * Theorem 5: eliminating a concat combiner preserves the final output.
 //  * Proposition B.5: plausible sets grow monotonically with the size cap.
+//
+// Plus an I/O-layer property rider: randomized record lengths straddling
+// the block size and max_record_size caps, round-tripped through the spill
+// path on both engine backends (src/io/) — byte identity and the EMSGSIZE
+// contract must not depend on which syscall strategy moved the bytes.
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <random>
 
 #include "dsl/enumerate.h"
 #include "exec/splitter.h"
+#include "io/engine.h"
 #include "shape/generate.h"
+#include "stream/block_reader.h"
+#include "stream/spill.h"
 #include "synth/filter.h"
 #include "synth/synthesize.h"
 #include "text/shellwords.h"
@@ -184,6 +196,122 @@ INSTANTIATE_TEST_SUITE_P(Widths, KWaySweep, ::testing::Values(2, 3, 5, 8, 16),
                            name += std::to_string(info.param);
                            return name;
                          });
+
+// ------------------------------------------------ I/O backend properties --
+
+std::vector<io::Backend> available_backends() {
+  std::vector<io::Backend> backends{io::Backend::kPoll};
+  if (io::uring_supported()) backends.push_back(io::Backend::kUring);
+  return backends;
+}
+
+// Random record lengths chosen to straddle the interesting boundaries:
+// well under the block size, exactly at it, just over it, and past the
+// max_record_size cap when `allow_oversized`.
+std::string random_records(std::mt19937_64& rng, std::size_t block_size,
+                           std::size_t record_cap, bool allow_oversized,
+                           int count) {
+  std::uniform_int_distribution<int> shape(0, allow_oversized ? 5 : 4);
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    std::size_t len = 0;
+    switch (shape(rng)) {
+      case 0: len = 1 + rng() % 8; break;               // tiny
+      case 1: len = block_size / 2 + rng() % 8; break;  // mid-block
+      case 2: len = block_size - 1; break;              // exactly one block
+      case 3: len = block_size + rng() % 16; break;     // just over a block
+      case 4: len = record_cap - 1 - rng() % 4; break;  // grazing the cap
+      case 5: len = record_cap + 1 + rng() % 32; break; // past the cap
+    }
+    out.append(len, static_cast<char>('a' + (rng() % 26)));
+    out += '\n';
+  }
+  return out;
+}
+
+// Spill round-trip: appends of random sizes, positioned reads of random
+// extents — the reassembled bytes are identical on every backend, so the
+// uring engine's chunking/queuing and the poll engine's synchronous loop
+// are observationally the same function.
+TEST(IoSpillProperty, RandomRecordLengthsRoundTripOnBothBackends) {
+  for (io::Backend backend : available_backends()) {
+    std::mt19937_64 rng(0x5eed ^ static_cast<std::uint64_t>(backend));
+    for (int trial = 0; trial < 12; ++trial) {
+      const std::size_t block = 64 + rng() % 192;
+      std::string payload =
+          random_records(rng, block, /*record_cap=*/4 * block,
+                         /*allow_oversized=*/false, 40);
+      io::IoOptions opts;
+      opts.backend = backend;
+      stream::SpillFile file(opts);
+      ASSERT_TRUE(file.valid());
+      // Appends sliced at random offsets, including mid-record cuts.
+      for (std::size_t at = 0; at < payload.size();) {
+        std::size_t n =
+            std::min<std::size_t>(1 + rng() % (2 * block),
+                                  payload.size() - at);
+        ASSERT_TRUE(file.append(payload.substr(at, n))) << file.error();
+        at += n;
+      }
+      ASSERT_EQ(file.size(), payload.size());
+      // Positioned reads of random extents, in random order.
+      std::string back(payload.size(), '\0');
+      for (std::size_t at = 0; at < payload.size();) {
+        std::size_t n =
+            std::min<std::size_t>(1 + rng() % (3 * block),
+                                  payload.size() - at);
+        ASSERT_TRUE(file.read_exact(at, back.data() + at, n))
+            << file.error();
+        at += n;
+      }
+      EXPECT_EQ(back, payload)
+          << "backend=" << io::backend_name(backend) << " trial=" << trial;
+    }
+  }
+}
+
+// BlockReader record-cap contract: a stream whose records all fit under
+// max_record_size is delivered byte-identically; one oversized record
+// ends the stream with EMSGSIZE — on both backends, at the same record.
+TEST(IoSpillProperty, RecordCapContractIsBackendIndependent) {
+  for (io::Backend backend : available_backends()) {
+    std::mt19937_64 rng(0xca9 ^ static_cast<std::uint64_t>(backend));
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::size_t block = 64;
+      const std::size_t cap = 256;
+      const bool oversized = (trial % 2) == 1;
+      std::string payload =
+          random_records(rng, block, cap, oversized, 24);
+      if (oversized)  // guarantee at least one cap-busting record
+        payload += std::string(cap + 40, 'Z') + "\n";
+
+      char path[] = "/tmp/kq-prop-io-XXXXXX";
+      int fd = ::mkstemp(path);
+      ASSERT_GE(fd, 0);
+      ::unlink(path);
+      ASSERT_EQ(::write(fd, payload.data(), payload.size()),
+                static_cast<ssize_t>(payload.size()));
+      ASSERT_EQ(::lseek(fd, 0, SEEK_SET), 0);
+
+      io::IoOptions opts;
+      opts.backend = backend;
+      auto engine = io::make_engine(opts);
+      stream::BlockReader reader(fd, engine.get(), {block, '\n', cap});
+      std::string got;
+      while (auto b = reader.next()) got += *b;
+      if (oversized) {
+        EXPECT_EQ(reader.error(), EMSGSIZE)
+            << "backend=" << io::backend_name(backend);
+      } else {
+        EXPECT_EQ(reader.error(), 0)
+            << "backend=" << io::backend_name(backend);
+        EXPECT_EQ(got, payload)
+            << "backend=" << io::backend_name(backend) << " trial=" << trial;
+      }
+      ::close(fd);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace kq
